@@ -1,0 +1,325 @@
+// Command htmbench regenerates the tables and figures of Brown's "A
+// Template for Implementing Fast Lock-free Trees Using HTM" (PODC 2017)
+// on the simulated-HTM substrate. Each experiment prints CSV rows (and a
+// short legend) matching the corresponding paper artifact:
+//
+//	-experiment fig14     throughput vs threads, BST + (a,b)-tree, light
+//	                      and heavy workloads (Figure 14; Figure 15 is
+//	                      the same sweep with -threads extended)
+//	-experiment fig16     transaction commit/abort rates per path
+//	-experiment fig17     Hybrid NOrec comparison (BST, light workload)
+//	-experiment pathusage operations completed per path (Section 7.2)
+//	-experiment sec8      searches outside transactions (Section 8)
+//	-experiment sec10     CITRUS and k-CAS list acceleration (Section 10)
+//	-experiment headline  (a,b)-tree 3-path vs non-htm ratios (abstract)
+//	-experiment all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"htmtree/internal/abtree"
+	"htmtree/internal/bst"
+	"htmtree/internal/citrus"
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+	"htmtree/internal/hybridnorec"
+	"htmtree/internal/kcas"
+	"htmtree/internal/workload"
+)
+
+type options struct {
+	experiment string
+	threads    []int
+	duration   time.Duration
+	trials     int
+	bstKeys    uint64
+	abKeys     uint64
+	listKeys   uint64
+	seed       uint64
+	allAlgs    bool
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "htmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var o options
+	var threadsFlag string
+	flag.StringVar(&o.experiment, "experiment", "all",
+		"fig14|fig16|fig17|pathusage|sec8|sec10|headline|all")
+	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
+	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
+	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
+	flag.Uint64Var(&o.bstKeys, "bst-keys", 10000, "BST key range (paper: 1e4)")
+	flag.Uint64Var(&o.abKeys, "ab-keys", 100000, "(a,b)-tree key range (paper: 1e6)")
+	flag.Uint64Var(&o.listKeys, "list-keys", 256, "k-CAS list key range")
+	flag.Uint64Var(&o.seed, "seed", 1, "base random seed")
+	flag.BoolVar(&o.allAlgs, "all-algs", false, "include 2-path-ncon and scx-htm in figures")
+	flag.Parse()
+
+	for _, part := range strings.Split(threadsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -threads element %q", part)
+		}
+		o.threads = append(o.threads, n)
+	}
+
+	exps := []string{o.experiment}
+	if o.experiment == "all" {
+		exps = []string{"fig14", "fig16", "fig17", "pathusage", "sec8", "sec10", "headline"}
+	}
+	for _, e := range exps {
+		switch e {
+		case "fig14":
+			fig14(o)
+		case "fig16":
+			fig16(o)
+		case "fig17":
+			fig17(o)
+		case "pathusage":
+			pathUsage(o)
+		case "sec8":
+			sec8(o)
+		case "sec10":
+			sec10(o)
+		case "headline":
+			headline(o)
+		default:
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+	}
+	return nil
+}
+
+// figureAlgorithms are the series shown in the paper's figures.
+func figureAlgorithms(all bool) []engine.Algorithm {
+	algs := []engine.Algorithm{
+		engine.AlgNonHTM, engine.AlgTLE, engine.AlgTwoPathConc, engine.AlgThreePath,
+	}
+	if all {
+		algs = append(algs, engine.AlgTwoPathNCon, engine.AlgSCXHTM)
+	}
+	return algs
+}
+
+// dsSpec describes one data-structure column of Figure 14/15.
+type dsSpec struct {
+	name     string
+	keyRange uint64
+	rqMax    uint64
+	make     func(alg engine.Algorithm, searchOutside bool, htmCfg htm.Config) dict.Dict
+}
+
+func specs(o options) []dsSpec {
+	return []dsSpec{
+		{
+			name: "bst", keyRange: o.bstKeys, rqMax: 1000,
+			make: func(alg engine.Algorithm, so bool, hc htm.Config) dict.Dict {
+				return bst.New(bst.Config{Algorithm: alg, SearchOutsideTx: so, HTM: hc})
+			},
+		},
+		{
+			name: "abtree", keyRange: o.abKeys, rqMax: 10000,
+			make: func(alg engine.Algorithm, so bool, hc htm.Config) dict.Dict {
+				return abtree.New(abtree.Config{Algorithm: alg, SearchOutsideTx: so, HTM: hc})
+			},
+		},
+	}
+}
+
+// trial runs cfg o.trials times on fresh instances from mk and returns
+// the median throughput plus the last run's full result.
+func trial(o options, mk func() dict.Dict, cfg workload.Config) (float64, workload.Result) {
+	tputs := make([]float64, 0, o.trials)
+	var last workload.Result
+	for i := 0; i < o.trials; i++ {
+		cfg.Seed = o.seed + uint64(i)*7919
+		d := mk()
+		last = workload.Run(d, cfg)
+		if !last.KeySumOK {
+			fmt.Fprintf(os.Stderr, "WARNING: key-sum validation FAILED (%+v)\n", cfg)
+		}
+		tputs = append(tputs, last.Throughput)
+	}
+	sort.Float64s(tputs)
+	return tputs[len(tputs)/2], last
+}
+
+func fig14(o options) {
+	fmt.Println("# Figure 14/15: throughput (ops/sec) vs threads")
+	fmt.Println("figure,structure,workload,algorithm,threads,throughput")
+	for _, spec := range specs(o) {
+		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
+			for _, alg := range figureAlgorithms(o.allAlgs) {
+				for _, n := range o.threads {
+					if kind == workload.Heavy && n < 2 {
+						continue // heavy needs >= 1 updater + 1 RQ thread
+					}
+					spec, kind, alg, n := spec, kind, alg, n
+					med, _ := trial(o, func() dict.Dict { return spec.make(alg, false, htm.Config{}) },
+						workload.Config{
+							Threads:   n,
+							Duration:  o.duration,
+							KeyRange:  spec.keyRange,
+							RQSizeMax: spec.rqMax,
+							Kind:      kind,
+						})
+					fmt.Printf("fig14,%s,%s,%s,%d,%.0f\n", spec.name, kind, alg, n, med)
+				}
+			}
+		}
+	}
+}
+
+func fig16(o options) {
+	n := o.threads[len(o.threads)-1]
+	fmt.Println("# Figure 16: transaction commit/abort rates (max threads)")
+	fmt.Println("structure,workload,algorithm,path,commits,aborts,abort_conflict,abort_capacity,abort_explicit,abort_spurious")
+	for _, spec := range specs(o) {
+		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
+			for _, alg := range []engine.Algorithm{engine.AlgTLE, engine.AlgTwoPathConc, engine.AlgThreePath} {
+				if kind == workload.Heavy && n < 2 {
+					continue
+				}
+				_, res := trial(o, func() dict.Dict { return spec.make(alg, false, htm.Config{}) },
+					workload.Config{
+						Threads: n, Duration: o.duration,
+						KeyRange: spec.keyRange, RQSizeMax: spec.rqMax, Kind: kind,
+					})
+				hs := res.HTMStats
+				for _, p := range []htm.PathKind{htm.PathFast, htm.PathMiddle} {
+					if hs.Commits[p] == 0 && hs.TotalAborts(p) == 0 {
+						continue
+					}
+					fmt.Printf("%s,%s,%s,%s,%d,%d,%d,%d,%d,%d\n",
+						spec.name, kind, alg, p,
+						hs.Commits[p], hs.TotalAborts(p),
+						hs.Aborts[p][htm.CauseConflict],
+						hs.Aborts[p][htm.CauseCapacity],
+						hs.Aborts[p][htm.CauseExplicit],
+						hs.Aborts[p][htm.CauseSpurious])
+				}
+			}
+		}
+	}
+}
+
+func fig17(o options) {
+	fmt.Println("# Figure 17: BST light workload incl. Hybrid NOrec")
+	fmt.Println("structure,workload,algorithm,threads,throughput")
+	series := []struct {
+		name string
+		mk   func() dict.Dict
+	}{
+		{"non-htm", func() dict.Dict { return bst.New(bst.Config{Algorithm: engine.AlgNonHTM}) }},
+		{"tle", func() dict.Dict { return bst.New(bst.Config{Algorithm: engine.AlgTLE}) }},
+		{"2-path-con", func() dict.Dict { return bst.New(bst.Config{Algorithm: engine.AlgTwoPathConc}) }},
+		{"3-path", func() dict.Dict { return bst.New(bst.Config{Algorithm: engine.AlgThreePath}) }},
+		{"hybrid-norec", func() dict.Dict { return hybridnorec.NewBST(htm.Config{}, 0) }},
+	}
+	for _, s := range series {
+		for _, n := range o.threads {
+			med, _ := trial(o, s.mk, workload.Config{
+				Threads: n, Duration: o.duration, KeyRange: o.bstKeys, Kind: workload.Light,
+			})
+			fmt.Printf("fig17,bst-light,%s,%d,%.0f\n", s.name, n, med)
+		}
+	}
+}
+
+func pathUsage(o options) {
+	n := o.threads[len(o.threads)-1]
+	fmt.Println("# Section 7.2: operations completed per path (3-path, max threads)")
+	fmt.Println("structure,workload,fast_pct,middle_pct,fallback_pct")
+	for _, spec := range specs(o) {
+		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
+			if kind == workload.Heavy && n < 2 {
+				continue
+			}
+			_, res := trial(o, func() dict.Dict { return spec.make(engine.AlgThreePath, false, htm.Config{}) },
+				workload.Config{
+					Threads: n, Duration: o.duration,
+					KeyRange: spec.keyRange, RQSizeMax: spec.rqMax, Kind: kind,
+				})
+			ps := res.PathStats
+			tot := float64(ps.Total())
+			fmt.Printf("%s,%s,%.2f,%.2f,%.2f\n", spec.name, kind,
+				100*float64(ps.Fast)/tot, 100*float64(ps.Middle)/tot,
+				100*float64(ps.Fallback)/tot)
+		}
+	}
+}
+
+func sec8(o options) {
+	n := o.threads[len(o.threads)-1]
+	fmt.Println("# Section 8: searches outside transactions (3-path, light workload)")
+	fmt.Println("structure,htm_profile,search_in_tx,search_outside_tx,gain_pct")
+	for _, spec := range specs(o) {
+		for _, profile := range []struct {
+			name string
+			cfg  htm.Config
+		}{{"intel", htm.Config{}}, {"power8", htm.POWER8Config()}} {
+			inTx, _ := trial(o, func() dict.Dict { return spec.make(engine.AlgThreePath, false, profile.cfg) },
+				workload.Config{Threads: n, Duration: o.duration, KeyRange: spec.keyRange, Kind: workload.Light})
+			outTx, _ := trial(o, func() dict.Dict { return spec.make(engine.AlgThreePath, true, profile.cfg) },
+				workload.Config{Threads: n, Duration: o.duration, KeyRange: spec.keyRange, Kind: workload.Light})
+			fmt.Printf("%s,%s,%.0f,%.0f,%.1f\n", spec.name, profile.name, inTx, outTx,
+				100*(outTx-inTx)/inTx)
+		}
+	}
+}
+
+func sec10(o options) {
+	n := o.threads[len(o.threads)-1]
+	fmt.Println("# Section 10: accelerating RCU (CITRUS) and k-CAS (list)")
+	fmt.Println("structure,algorithm,threads,throughput")
+	for _, alg := range []engine.Algorithm{engine.AlgNonHTM, engine.AlgThreePath} {
+		alg := alg
+		med, _ := trial(o, func() dict.Dict { return citrus.New(citrus.Config{Algorithm: alg}) },
+			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.bstKeys, Kind: workload.Light})
+		fmt.Printf("citrus,%s,%d,%.0f\n", alg, n, med)
+	}
+	for _, alg := range []engine.Algorithm{engine.AlgNonHTM, engine.AlgThreePath} {
+		alg := alg
+		med, _ := trial(o, func() dict.Dict { return kcas.NewList(kcas.ListConfig{Algorithm: alg}) },
+			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.listKeys, Kind: workload.Light})
+		fmt.Printf("kcas-list,%s,%d,%.0f\n", alg, n, med)
+	}
+}
+
+func headline(o options) {
+	n := o.threads[len(o.threads)-1]
+	fmt.Println("# Headline: (a,b)-tree, 3-path vs non-htm (paper: 4.0-4.2x at 72 threads)")
+	fmt.Println("workload,non_htm,three_path,ratio")
+	var ratios []float64
+	for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
+		if kind == workload.Heavy && n < 2 {
+			continue
+		}
+		base, _ := trial(o, func() dict.Dict { return abtree.New(abtree.Config{Algorithm: engine.AlgNonHTM}) },
+			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.abKeys, RQSizeMax: 10000, Kind: kind})
+		acc, _ := trial(o, func() dict.Dict { return abtree.New(abtree.Config{Algorithm: engine.AlgThreePath}) },
+			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.abKeys, RQSizeMax: 10000, Kind: kind})
+		r := acc / base
+		ratios = append(ratios, r)
+		fmt.Printf("%s,%.0f,%.0f,%.2f\n", kind, base, acc, r)
+	}
+	var avg float64
+	for _, r := range ratios {
+		avg += r
+	}
+	fmt.Printf("average,,,%.2f\n", avg/float64(len(ratios)))
+}

@@ -1,0 +1,296 @@
+// Package htmtree is a Go reproduction of Trevor Brown's "A Template
+// for Implementing Fast Lock-free Trees Using HTM" (PODC 2017).
+//
+// It provides two concurrent ordered dictionaries built from the LLX/SCX
+// tree update template — an unbalanced external binary search tree and a
+// relaxed (a,b)-tree — each runnable under every template algorithm the
+// paper studies:
+//
+//   - NonHTM: the original lock-free template (the baseline),
+//   - TLE: transactional lock elision,
+//   - TwoPathConc: HTM fast path concurrent with the lock-free fallback,
+//   - TwoPathNCon: HTM fast path, concurrency with the fallback disallowed,
+//   - ThreePath: the paper's contribution — an uninstrumented HTM fast
+//     path, an instrumented HTM middle path, and a lock-free fallback
+//     path, with concurrency between adjacent paths,
+//   - SCXHTM: the Section 4 algorithm (HTM-accelerated LLX/SCX
+//     primitives with the operation structure unchanged).
+//
+// Hardware transactional memory is simulated in software (Go has no TSX
+// intrinsics): transactions are opaque and strongly atomic with respect
+// to non-transactional accesses, and abort with conflict / capacity /
+// explicit / spurious causes, so every algorithmic interaction the paper
+// describes is exercised. See DESIGN.md for the substitution argument
+// and EXPERIMENTS.md for paper-versus-measured results.
+//
+// Quickstart:
+//
+//	tree, err := htmtree.NewABTree(htmtree.Config{Algorithm: htmtree.ThreePath})
+//	if err != nil { ... }
+//	h := tree.NewHandle() // one handle per goroutine
+//	h.Insert(42, 1)
+//	v, ok := h.Search(42)
+//	pairs := h.RangeQuery(0, 100, nil)
+package htmtree
+
+import (
+	"fmt"
+
+	"htmtree/internal/abtree"
+	"htmtree/internal/bst"
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+)
+
+// Algorithm names one of the template implementations.
+type Algorithm string
+
+// The template algorithms of the paper.
+const (
+	NonHTM      Algorithm = "non-htm"
+	TLE         Algorithm = "tle"
+	TwoPathConc Algorithm = "2-path-con"
+	TwoPathNCon Algorithm = "2-path-ncon"
+	ThreePath   Algorithm = "3-path"
+	SCXHTM      Algorithm = "scx-htm"
+)
+
+// Algorithms lists every algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{NonHTM, TLE, TwoPathConc, TwoPathNCon, ThreePath, SCXHTM}
+}
+
+// MaxKey is the largest key a client may store (larger values are
+// reserved for internal sentinels).
+const MaxKey = dict.MaxKey
+
+// KV is a key-value pair returned by range queries.
+type KV struct {
+	Key, Val uint64
+}
+
+// Config configures a tree. The zero value selects the 3-path algorithm
+// with the paper's default parameters.
+type Config struct {
+	// Algorithm selects the template implementation (default ThreePath).
+	Algorithm Algorithm
+
+	// ReadCapacity and WriteCapacity bound the simulated transactional
+	// footprint (defaults model an Intel-like HTM).
+	ReadCapacity, WriteCapacity int
+	// POWER8Profile selects the much smaller POWER8-like transactional
+	// footprint (Section 8 of the paper) instead.
+	POWER8Profile bool
+	// SpuriousAbortEvery injects a spurious abort with probability
+	// 1/SpuriousAbortEvery per transactional access (0 disables).
+	SpuriousAbortEvery uint64
+
+	// AttemptLimit is the fast-path budget for TLE and the 2-path
+	// algorithms (default 20); FastLimit and MiddleLimit are the 3-path
+	// budgets (default 10 each).
+	AttemptLimit, FastLimit, MiddleLimit int
+	// UseSNZI replaces the fallback-presence counter with a scalable
+	// non-zero indicator.
+	UseSNZI bool
+	// SearchOutsideTx enables the Section 8 optimization: operations
+	// locate their target with unsubscribed reads and revalidate inside
+	// the transaction.
+	SearchOutsideTx bool
+
+	// A and B are the (a,b)-tree degree bounds (defaults 6 and 16;
+	// ignored by the BST).
+	A, B int
+}
+
+func (c Config) algorithm() (engine.Algorithm, error) {
+	if c.Algorithm == "" {
+		return engine.AlgThreePath, nil
+	}
+	a, ok := engine.ParseAlgorithm(string(c.Algorithm))
+	if !ok {
+		return 0, fmt.Errorf("htmtree: unknown algorithm %q", c.Algorithm)
+	}
+	return a, nil
+}
+
+func (c Config) htmConfig() htm.Config {
+	cfg := htm.Config{
+		ReadCapacity:  c.ReadCapacity,
+		WriteCapacity: c.WriteCapacity,
+		SpuriousEvery: c.SpuriousAbortEvery,
+	}
+	if c.POWER8Profile {
+		p := htm.POWER8Config()
+		if cfg.ReadCapacity == 0 {
+			cfg.ReadCapacity = p.ReadCapacity
+		}
+		if cfg.WriteCapacity == 0 {
+			cfg.WriteCapacity = p.WriteCapacity
+		}
+	}
+	return cfg
+}
+
+func (c Config) engineConfig() engine.Config {
+	cfg := engine.Config{
+		AttemptLimit: c.AttemptLimit,
+		FastLimit:    c.FastLimit,
+		MiddleLimit:  c.MiddleLimit,
+	}
+	if c.UseSNZI {
+		cfg.Indicator = engine.NewSNZIIndicator()
+	}
+	return cfg
+}
+
+// statsSource exposes the internal statistics of a tree.
+type statsSource interface {
+	OpStats() engine.OpStats
+	HTMStats() htm.Stats
+}
+
+// Tree is a concurrent ordered dictionary (BST or (a,b)-tree) built from
+// the accelerated tree update template. Create one with NewBST or
+// NewABTree and access it through per-goroutine handles.
+type Tree struct {
+	d          dict.Dict
+	stats      statsSource
+	invariants func(strict bool) error
+}
+
+// NewBST creates an unbalanced external binary search tree (paper
+// Section 6.1).
+func NewBST(cfg Config) (*Tree, error) {
+	alg, err := cfg.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	t := bst.New(bst.Config{
+		Algorithm:       alg,
+		HTM:             cfg.htmConfig(),
+		Engine:          cfg.engineConfig(),
+		SearchOutsideTx: cfg.SearchOutsideTx,
+	})
+	return &Tree{
+		d:     t,
+		stats: t,
+		invariants: func(bool) error {
+			return t.CheckInvariants()
+		},
+	}, nil
+}
+
+// NewABTree creates a relaxed (a,b)-tree (paper Section 6.2).
+func NewABTree(cfg Config) (*Tree, error) {
+	alg, err := cfg.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.A != 0 && (cfg.A < 2 || cfg.B < 2*cfg.A-1) {
+		return nil, fmt.Errorf("htmtree: invalid degree bounds a=%d b=%d", cfg.A, cfg.B)
+	}
+	t := abtree.New(abtree.Config{
+		A:               cfg.A,
+		B:               cfg.B,
+		Algorithm:       alg,
+		HTM:             cfg.htmConfig(),
+		Engine:          cfg.engineConfig(),
+		SearchOutsideTx: cfg.SearchOutsideTx,
+	})
+	return &Tree{d: t, stats: t, invariants: t.CheckInvariants}, nil
+}
+
+// NewHandle registers a per-goroutine handle. Handles must not be shared
+// between goroutines.
+func (t *Tree) NewHandle() *Handle {
+	return &Handle{h: t.d.NewHandle()}
+}
+
+// KeySum returns the sum and count of the keys present. Quiescent use
+// only (it is the paper's validation checksum).
+func (t *Tree) KeySum() (sum, count uint64) { return t.d.KeySum() }
+
+// CheckInvariants validates the structure (quiescent use only).
+func (t *Tree) CheckInvariants() error { return t.invariants(true) }
+
+// Handle is a per-goroutine handle to a Tree.
+type Handle struct {
+	h   dict.Handle
+	buf []dict.KV
+}
+
+// Insert associates key with val, returning the previous value and
+// whether the key was already present.
+func (h *Handle) Insert(key, val uint64) (old uint64, existed bool) {
+	return h.h.Insert(key, val)
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (h *Handle) Delete(key uint64) (old uint64, existed bool) {
+	return h.h.Delete(key)
+}
+
+// Search returns the value associated with key, if present.
+func (h *Handle) Search(key uint64) (val uint64, found bool) {
+	return h.h.Search(key)
+}
+
+// RangeQuery appends all pairs with lo <= key < hi, in ascending key
+// order, to out and returns the extended slice.
+func (h *Handle) RangeQuery(lo, hi uint64, out []KV) []KV {
+	h.buf = h.h.RangeQuery(lo, hi, h.buf[:0])
+	for _, p := range h.buf {
+		out = append(out, KV{Key: p.Key, Val: p.Val})
+	}
+	return out
+}
+
+// PathCounts counts events per execution path.
+type PathCounts struct {
+	Fast, Middle, Fallback uint64
+}
+
+// Total sums the three paths.
+func (p PathCounts) Total() uint64 { return p.Fast + p.Middle + p.Fallback }
+
+// Stats is a snapshot of a tree's execution statistics: how many
+// operations completed on each path (Section 7.2 of the paper) and how
+// transactions committed/aborted (Figure 16).
+type Stats struct {
+	// Ops counts operation completions per path.
+	Ops PathCounts
+	// TxCommits and TxAborts count transaction outcomes per path.
+	TxCommits, TxAborts PathCounts
+	// AbortCauses breaks aborts down as "path/cause" -> count.
+	AbortCauses map[string]uint64
+}
+
+// Stats returns a snapshot of the tree's statistics. Safe to call while
+// operations run (the snapshot is then approximate).
+func (t *Tree) Stats() Stats {
+	ops := t.stats.OpStats()
+	hs := t.stats.HTMStats()
+	s := Stats{
+		Ops: PathCounts{Fast: ops.Fast, Middle: ops.Middle, Fallback: ops.Fallback},
+		TxCommits: PathCounts{
+			Fast:     hs.Commits[htm.PathFast],
+			Middle:   hs.Commits[htm.PathMiddle],
+			Fallback: hs.Commits[htm.PathFallback],
+		},
+		TxAborts: PathCounts{
+			Fast:     hs.TotalAborts(htm.PathFast),
+			Middle:   hs.TotalAborts(htm.PathMiddle),
+			Fallback: hs.TotalAborts(htm.PathFallback),
+		},
+		AbortCauses: make(map[string]uint64),
+	}
+	for _, p := range []htm.PathKind{htm.PathFast, htm.PathMiddle, htm.PathFallback} {
+		for c := htm.CauseExplicit; c <= htm.CauseSpurious; c++ {
+			if n := hs.Aborts[p][c]; n > 0 {
+				s.AbortCauses[p.String()+"/"+c.String()] = n
+			}
+		}
+	}
+	return s
+}

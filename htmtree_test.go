@@ -1,0 +1,101 @@
+package htmtree_test
+
+import (
+	"sync"
+	"testing"
+
+	"htmtree"
+)
+
+func TestFacadeBothTreesAllAlgorithms(t *testing.T) {
+	t.Parallel()
+	type ctor struct {
+		name string
+		mk   func(htmtree.Config) (*htmtree.Tree, error)
+	}
+	for _, c := range []ctor{{"bst", htmtree.NewBST}, {"abtree", htmtree.NewABTree}} {
+		for _, alg := range htmtree.Algorithms() {
+			c, alg := c, alg
+			t.Run(c.name+"/"+string(alg), func(t *testing.T) {
+				t.Parallel()
+				tree, err := c.mk(htmtree.Config{Algorithm: alg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := tree.NewHandle()
+				for k := uint64(1); k <= 100; k++ {
+					if _, existed := h.Insert(k, k*3); existed {
+						t.Fatalf("Insert(%d) reported existing", k)
+					}
+				}
+				if v, ok := h.Search(50); !ok || v != 150 {
+					t.Fatalf("Search(50) = %d,%v", v, ok)
+				}
+				out := h.RangeQuery(10, 20, nil)
+				if len(out) != 10 || out[0].Key != 10 || out[9].Key != 19 {
+					t.Fatalf("RangeQuery(10,20) = %v", out)
+				}
+				for k := uint64(1); k <= 100; k += 2 {
+					if _, existed := h.Delete(k); !existed {
+						t.Fatalf("Delete(%d) missed", k)
+					}
+				}
+				if sum, count := tree.KeySum(); count != 50 {
+					t.Fatalf("KeySum = %d,%d want 50 keys", sum, count)
+				}
+				if err := tree.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				st := tree.Stats()
+				if st.Ops.Total() == 0 {
+					t.Fatal("no operations recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := htmtree.NewBST(htmtree.Config{Algorithm: "bogus"}); err == nil {
+		t.Fatal("NewBST accepted an unknown algorithm")
+	}
+	if _, err := htmtree.NewABTree(htmtree.Config{A: 6, B: 7}); err == nil {
+		t.Fatal("NewABTree accepted b < 2a-1")
+	}
+}
+
+func TestFacadeConcurrentUse(t *testing.T) {
+	t.Parallel()
+	tree, err := htmtree.NewABTree(htmtree.Config{Algorithm: htmtree.ThreePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := tree.NewHandle()
+			for i := 0; i < 2000; i++ {
+				k := uint64((g*2000+i)%500) + 1
+				switch i % 3 {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				case 2:
+					h.Search(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.TxCommits.Fast == 0 {
+		t.Fatal("no fast-path commits recorded")
+	}
+}

@@ -1,0 +1,341 @@
+// Package abtree implements the relaxed (a,b)-tree of Section 6.2 of
+// Brown's "A Template for Implementing Fast Lock-free Trees Using HTM"
+// (PODC 2017), based on Jacobsen and Larsen's relaxed-balance variant of
+// (a,b)-trees, runnable under every template algorithm the paper
+// studies.
+//
+// The tree is leaf-oriented: key-value pairs live in leaves (up to b per
+// leaf), internal nodes hold routing keys and between 2 and b children.
+// Balance is relaxed: updates may leave violations — a *tagged* internal
+// node (created by a leaf or internal split; the subtree is one level
+// too tall) or an *underfull* node (degree below a) — which are repaired
+// by separate rebalancing steps, each itself a template operation:
+//
+//   - root-untag: a tagged root loses its tag (height grows legally),
+//   - absorb: a tagged node's children merge into its parent,
+//   - split-push-up: a full parent and its tagged child redistribute
+//     into two nodes under a new tagged parent (the tag moves up),
+//   - join: an underfull node merges with a sibling,
+//   - share: an underfull node rebalances keys with a sibling,
+//   - root-collapse: a unary internal root is removed (height shrinks).
+//
+// Every update fixes the violations reachable on its key's search path
+// before returning, so a quiescent tree is a proper (a,b)-tree: no tags,
+// all degrees in [a,b] (root exempt), uniform leaf depth.
+//
+// Per the paper, the fast path modifies leaf key/value arrays in place
+// (they are transactional cells) and creates nodes only on splits, while
+// the middle and fallback paths follow the template discipline of
+// replacing nodes; rebalancing steps create new nodes on every path
+// (Section 6.2's closing remark).
+package abtree
+
+import (
+	"fmt"
+
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+	"htmtree/internal/llxscx"
+)
+
+// Default degree bounds (paper Section 7: a=6, b=16 so a node spans four
+// cache lines).
+const (
+	DefaultA = 6
+	DefaultB = 16
+)
+
+// Node is an (a,b)-tree node.
+//
+// Internal nodes: keys (immutable routing keys, len = degree-1), children
+// (cells, len = degree, fixed at creation — structural changes replace
+// the node), tagged (immutable).
+//
+// Leaves: size and the first size entries of lkeys/lvals hold the pairs
+// in ascending key order. They are cells because the fast path mutates
+// them in place; the template paths replace the leaf instead and only
+// ever read them.
+type Node struct {
+	hdr    llxscx.Hdr
+	leaf   bool
+	tagged bool
+
+	keys     []uint64
+	children []htm.Ref[Node]
+
+	size  htm.Word
+	lkeys []htm.Word
+	lvals []htm.Word
+}
+
+// Tagged reports the node's tag (exported for tests).
+func (n *Node) Tagged() bool { return n.tagged }
+
+// Leaf reports whether the node is a leaf (exported for tests).
+func (n *Node) Leaf() bool { return n.leaf }
+
+// kv is a key/value pair in flight between nodes.
+type kv struct {
+	k, v uint64
+}
+
+// newLeaf builds a leaf with capacity b holding pairs (sorted).
+func newLeaf(b int, pairs []kv) *Node {
+	n := &Node{
+		leaf:  true,
+		lkeys: make([]htm.Word, b),
+		lvals: make([]htm.Word, b),
+	}
+	n.size.Init(uint64(len(pairs)))
+	for i, p := range pairs {
+		n.lkeys[i].Init(p.k)
+		n.lvals[i].Init(p.v)
+	}
+	return n
+}
+
+// newInternal builds an internal node. len(children) must equal
+// len(keys)+1.
+func newInternal(keys []uint64, children []*Node, tagged bool) *Node {
+	n := &Node{
+		keys:     append([]uint64(nil), keys...),
+		children: make([]htm.Ref[Node], len(children)),
+		tagged:   tagged,
+	}
+	for i, c := range children {
+		n.children[i].Init(c)
+	}
+	return n
+}
+
+// degree returns the node's degree: number of children for internal
+// nodes, number of pairs for leaves (read through tx).
+func (n *Node) degree(tx *htm.Tx) int {
+	if n.leaf {
+		return int(n.size.Get(tx))
+	}
+	return len(n.children)
+}
+
+// childIndex returns the index of the child a search for key follows.
+func childIndex(n *Node, key uint64) int {
+	i := 0
+	for i < len(n.keys) && key >= n.keys[i] {
+		i++
+	}
+	return i
+}
+
+// Config configures a Tree.
+type Config struct {
+	// A and B are the degree bounds (defaults 6 and 16; B >= 2A-1).
+	A, B int
+	// Algorithm selects the template implementation (default 3-path).
+	Algorithm engine.Algorithm
+	// HTM configures the simulated HTM.
+	HTM htm.Config
+	// Engine overrides attempt budgets and the fallback indicator.
+	Engine engine.Config
+	// SearchOutsideTx enables the Section 8 optimization.
+	SearchOutsideTx bool
+}
+
+// Tree is a concurrent relaxed (a,b)-tree.
+type Tree struct {
+	tm  *htm.TM
+	eng *engine.Engine
+	cfg Config
+	// entry is the permanent entry point; entry.children[0] is the root.
+	entry *Node
+}
+
+// New creates an empty tree.
+func New(cfg Config) *Tree {
+	if cfg.A == 0 {
+		cfg.A = DefaultA
+	}
+	if cfg.B == 0 {
+		cfg.B = DefaultB
+	}
+	if cfg.A < 2 || cfg.B < 2*cfg.A-1 {
+		panic(fmt.Sprintf("abtree: invalid degree bounds a=%d b=%d (need a>=2, b>=2a-1)",
+			cfg.A, cfg.B))
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = engine.AlgThreePath
+	}
+	ecfg := cfg.Engine
+	ecfg.Algorithm = cfg.Algorithm
+	t := &Tree{
+		tm:  htm.New(cfg.HTM),
+		eng: engine.New(ecfg),
+		cfg: cfg,
+	}
+	t.entry = newInternal(nil, []*Node{newLeaf(cfg.B, nil)}, false)
+	return t
+}
+
+// TM exposes the tree's transactional memory (for statistics).
+func (t *Tree) TM() *htm.TM { return t.tm }
+
+// Engine exposes the tree's execution engine (for statistics).
+func (t *Tree) Engine() *engine.Engine { return t.eng }
+
+// OpStats returns per-path operation completion counts
+// (workload.StatsProvider).
+func (t *Tree) OpStats() engine.OpStats { return t.eng.Stats() }
+
+// HTMStats returns per-path transaction commit/abort counts
+// (workload.StatsProvider).
+func (t *Tree) HTMStats() htm.Stats { return t.tm.Stats() }
+
+// Handle is a per-thread handle to the tree.
+type Handle struct {
+	t *Tree
+	e *engine.Thread
+
+	argKey, argVal uint64
+	argLo, argHi   uint64
+	resVal         uint64
+	resFound       bool
+	needFix        bool
+	fixMore        bool
+	rqOut          []dict.KV
+
+	// merge scratch: capacity b+1 so a full leaf plus one pair fits.
+	buf []kv
+
+	insertOp, deleteOp, searchOp, rqOp, fixOp engine.Op
+}
+
+var _ dict.Handle = (*Handle)(nil)
+
+// NewHandle registers a per-thread handle.
+func (t *Tree) NewHandle() dict.Handle { return t.newHandle() }
+
+func (t *Tree) newHandle() *Handle {
+	h := &Handle{
+		t:   t,
+		e:   t.eng.NewThread(t.tm.NewThread()),
+		buf: make([]kv, 0, t.cfg.B+1),
+	}
+	h.buildOps()
+	return h
+}
+
+// KeySum returns the sum and count of keys. Quiescent use only.
+func (t *Tree) KeySum() (sum, count uint64) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			sz := int(n.size.Get(nil))
+			for i := 0; i < sz; i++ {
+				sum += n.lkeys[i].Get(nil)
+				count++
+			}
+			return
+		}
+		for i := range n.children {
+			walk(n.children[i].Get(nil))
+		}
+	}
+	walk(t.entry.children[0].Get(nil))
+	return sum, count
+}
+
+// CheckInvariants validates the tree structure (quiescent use only).
+// With strict set it additionally demands full balance: no tagged
+// nodes, all degrees within [a,b] (root exempt below a), and uniform
+// leaf depth — which must hold whenever all updates have completed,
+// since every update repairs the violations it creates.
+func (t *Tree) CheckInvariants(strict bool) error {
+	root := t.entry.children[0].Get(nil)
+	leafDepth := -1
+	var walk func(n *Node, lo, hi uint64, depth int, isRoot bool) error
+	walk = func(n *Node, lo, hi uint64, depth int, isRoot bool) error {
+		if n == nil {
+			return fmt.Errorf("abtree: nil node reachable")
+		}
+		if n.hdr.Marked(nil) {
+			return fmt.Errorf("abtree: reachable marked node at depth %d", depth)
+		}
+		if n.leaf {
+			sz := int(n.size.Get(nil))
+			if sz > t.cfg.B {
+				return fmt.Errorf("abtree: leaf size %d exceeds b=%d", sz, t.cfg.B)
+			}
+			if strict && !isRoot && sz < t.cfg.A {
+				return fmt.Errorf("abtree: underfull leaf (size %d < a=%d)", sz, t.cfg.A)
+			}
+			prev := uint64(0)
+			for i := 0; i < sz; i++ {
+				k := n.lkeys[i].Get(nil)
+				if i > 0 && k <= prev {
+					return fmt.Errorf("abtree: leaf keys unsorted (%d after %d)", k, prev)
+				}
+				if k < lo || k >= hi {
+					return fmt.Errorf("abtree: leaf key %d outside routing range [%d,%d)", k, lo, hi)
+				}
+				prev = k
+			}
+			if strict {
+				if leafDepth == -1 {
+					leafDepth = depth
+				} else if leafDepth != depth {
+					return fmt.Errorf("abtree: leaves at depths %d and %d", leafDepth, depth)
+				}
+			}
+			return nil
+		}
+		d := len(n.children)
+		if d != len(n.keys)+1 {
+			return fmt.Errorf("abtree: internal degree %d with %d keys", d, len(n.keys))
+		}
+		if d > t.cfg.B {
+			return fmt.Errorf("abtree: internal degree %d exceeds b=%d", d, t.cfg.B)
+		}
+		if d < 1 {
+			return fmt.Errorf("abtree: internal node with no children")
+		}
+		if strict {
+			if n.tagged {
+				return fmt.Errorf("abtree: tagged node survived rebalancing")
+			}
+			if !isRoot && d < t.cfg.A {
+				return fmt.Errorf("abtree: underfull internal node (degree %d < a=%d)", d, t.cfg.A)
+			}
+			if isRoot && d < 2 {
+				return fmt.Errorf("abtree: unary root survived rebalancing")
+			}
+		}
+		for i := 0; i < len(n.keys); i++ {
+			if n.keys[i] < lo || n.keys[i] >= hi {
+				return fmt.Errorf("abtree: routing key %d outside [%d,%d)", n.keys[i], lo, hi)
+			}
+			if i > 0 && n.keys[i] <= n.keys[i-1] {
+				return fmt.Errorf("abtree: routing keys unsorted")
+			}
+		}
+		childDepth := depth + 1
+		if n.tagged {
+			// A tagged node is a height violation: its subtree counts
+			// one level shorter for depth purposes.
+			childDepth = depth
+		}
+		for i := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(n.children[i].Get(nil), clo, chi, childDepth, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, 0, ^uint64(0), 0, true)
+}

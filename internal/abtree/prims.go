@@ -1,0 +1,116 @@
+package abtree
+
+import (
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+	"htmtree/internal/llxscx"
+)
+
+// mode selects which flavour of the template primitives a body runs
+// with. One implementation of each structural change serves all four
+// execution paths.
+type mode uint8
+
+const (
+	// modeFast: sequential code — plain (transactional) reads and direct
+	// writes; marks removed nodes. Used inside fast-path transactions
+	// and, with a nil tx, as the TLE locked body.
+	modeFast mode = iota + 1
+	// modeMiddle: transactional LLX + SCXInTx (the instrumented
+	// transaction of Section 5).
+	modeMiddle
+	// modeFallback: the original lock-free LLXO/SCXO.
+	modeFallback
+	// modeSCXHTM: template structure with non-transactional LLX and the
+	// standalone HTM SCX of Section 4.
+	modeSCXHTM
+)
+
+// prims carries one operation attempt's execution context.
+type prims struct {
+	t  *Tree
+	h  *Handle
+	tx *htm.Tx
+	m  mode
+	// useHTM selects SCXHTM vs SCXO within modeSCXHTM.
+	useHTM bool
+	// failed is set when a fallback-mode primitive fails; the body must
+	// unwind and return false to the engine.
+	failed bool
+}
+
+// fail aborts the attempt: transactional modes abort the enclosing
+// transaction (not returning); fallback modes set the failed flag, which
+// callers must check after every llx/scx.
+func (pr *prims) fail() {
+	if pr.tx != nil {
+		pr.tx.Abort(engine.CodeRetry)
+	}
+	pr.failed = true
+}
+
+// llx takes a snapshot of the record with header hdr. It returns the
+// linked info value (nil in fast mode, which needs none) and whether the
+// snapshot succeeded; on failure in transactional modes it does not
+// return.
+func (pr *prims) llx(hdr *llxscx.Hdr, readFields func()) (*llxscx.Info, bool) {
+	switch pr.m {
+	case modeFast:
+		// Sequential code: no synchronization metadata. The transaction
+		// (or TLE lock) provides atomicity; Section 8's marked check
+		// happens in the bodies where required.
+		if readFields != nil {
+			readFields()
+		}
+		return nil, true
+	case modeMiddle:
+		info, st := llxscx.LLX(pr.tx, hdr, readFields)
+		if st != llxscx.StatusOK {
+			pr.fail()
+		}
+		return info, true
+	default: // modeFallback, modeSCXHTM
+		info, st := llxscx.LLX(nil, hdr, readFields)
+		if st != llxscx.StatusOK {
+			pr.fail()
+			return nil, false
+		}
+		return info, true
+	}
+}
+
+// scx performs the update phase: change fld from old to new and finalize
+// the records in r, where v lists every record (with its linked info)
+// that must be unchanged. It reports success; in transactional modes it
+// always succeeds (conflicts abort the transaction instead).
+func (pr *prims) scx(v []*llxscx.Hdr, infos []*llxscx.Info, r []*llxscx.Hdr,
+	fld *htm.Ref[Node], old, new *Node) bool {
+	switch pr.m {
+	case modeFast:
+		for _, hdr := range r {
+			hdr.SetMarked(pr.tx)
+		}
+		fld.Set(pr.tx, new)
+		return true
+	case modeMiddle:
+		llxscx.SCXInTx(pr.tx, &pr.h.e.Tags, v, r)
+		fld.Set(pr.tx, new)
+		return true
+	case modeSCXHTM:
+		if pr.useHTM {
+			ok, _ := llxscx.SCXHTM(pr.h.e.H, htm.PathFast, &pr.h.e.Tags,
+				v, infos, r, fld, new)
+			if !ok {
+				pr.failed = true
+			}
+			return ok
+		}
+		fallthrough
+	default: // modeFallback
+		if !llxscx.SCXO(v, infos, r, fld, old, new) {
+			pr.failed = true
+			return false
+		}
+		return true
+	}
+}

@@ -1,0 +1,403 @@
+package abtree
+
+import (
+	"htmtree/internal/htm"
+	"htmtree/internal/llxscx"
+)
+
+// maxFixIterations bounds the repair loop defensively. Cooperative
+// executions finish in a handful of iterations (one per level of the
+// chain a violation can climb); the bound only guards against unbounded
+// helping under pathological contention.
+const maxFixIterations = 1 << 17
+
+// vKind classifies a balance violation (Section 6.2 / Jacobsen-Larsen).
+type vKind uint8
+
+const (
+	vNone         vKind = iota // path is clean
+	vCollapseRoot              // unary internal root: height shrinks
+	vUntagRoot                 // tagged root: height grows legally
+	vTag                       // tagged non-root: absorb or split-push-up
+	vUnderfull                 // degree < a non-root: join or share
+)
+
+// violation identifies the highest violation on a key's search path.
+type violation struct {
+	kind     vKind
+	gp, p, n *Node
+	pIdx     int // index of p within gp
+	nIdx     int // index of n within p
+}
+
+// findViolation walks key's search path from the root and returns the
+// first (highest) violation.
+func (t *Tree) findViolation(tx *htm.Tx, key uint64) violation {
+	a := t.cfg.A
+	var gp *Node
+	p := t.entry
+	pIdx, nIdx := 0, 0
+	n := p.children[0].Get(tx)
+	for {
+		if n.leaf {
+			if p != t.entry && int(n.size.Get(tx)) < a {
+				return violation{kind: vUnderfull, gp: gp, p: p, n: n, pIdx: pIdx, nIdx: nIdx}
+			}
+			return violation{kind: vNone}
+		}
+		if p == t.entry {
+			if len(n.children) == 1 {
+				return violation{kind: vCollapseRoot, p: p, n: n}
+			}
+			if n.tagged {
+				return violation{kind: vUntagRoot, p: p, n: n}
+			}
+		} else {
+			if n.tagged {
+				return violation{kind: vTag, gp: gp, p: p, n: n, pIdx: pIdx, nIdx: nIdx}
+			}
+			if len(n.children) < a {
+				return violation{kind: vUnderfull, gp: gp, p: p, n: n, pIdx: pIdx, nIdx: nIdx}
+			}
+		}
+		gp, pIdx = p, nIdx
+		p = n
+		nIdx = childIndex(p, key)
+		n = p.children[nIdx].Get(tx)
+	}
+}
+
+// runFixLoop repairs violations on the handle's current key path until
+// none remain (each repair step is its own template operation run
+// through the engine, exactly as the paper prescribes).
+func (h *Handle) runFixLoop() {
+	for i := 0; i < maxFixIterations; i++ {
+		h.fixMore = false
+		h.e.Run(h.fixOp)
+		if !h.fixMore {
+			return
+		}
+	}
+}
+
+// fixBody performs (at most) one rebalancing step for the highest
+// violation on the key's path. It sets h.fixMore when the caller should
+// look again (a violation was found, whether or not this attempt fixed
+// it). Returns false to request a retry in fallback modes.
+func (t *Tree) fixBody(pr *prims) bool {
+	h := pr.h
+	vio := t.findViolation(pr.tx, h.argKey)
+	if vio.kind == vNone {
+		h.fixMore = false
+		return true
+	}
+	h.fixMore = true
+	switch vio.kind {
+	case vCollapseRoot:
+		return t.fixCollapseRoot(pr, vio)
+	case vUntagRoot:
+		return t.fixUntagRoot(pr, vio)
+	case vTag:
+		return t.fixTag(pr, vio)
+	default: // vUnderfull
+		return t.fixUnderfull(pr, vio)
+	}
+}
+
+// snapshotChildren reads n's children within an LLX.
+func (pr *prims) snapshotChildren(n *Node) ([]*Node, *llxscx.Info, bool) {
+	snap := make([]*Node, len(n.children))
+	info, _ := pr.llx(&n.hdr, func() {
+		for i := range n.children {
+			snap[i] = n.children[i].Get(pr.tx)
+		}
+	})
+	if pr.failed {
+		return nil, nil, false
+	}
+	return snap, info, true
+}
+
+// copyNode builds a fresh copy of n (content snapshot taken within an
+// LLX), optionally overriding the tag.
+func (pr *prims) copyNode(n *Node, tagged bool) (*Node, *llxscx.Info, bool) {
+	if n.leaf {
+		info, _ := pr.llx(&n.hdr, func() { readLeaf(pr.tx, n, &pr.h.buf) })
+		if pr.failed {
+			return nil, nil, false
+		}
+		return newLeaf(pr.t.cfg.B, pr.h.buf), info, true
+	}
+	snap, info, ok := pr.snapshotChildren(n)
+	if !ok {
+		return nil, nil, false
+	}
+	return newInternal(n.keys, snap, tagged), info, true
+}
+
+// fixUntagRoot replaces a tagged root with an untagged copy: the height
+// increase becomes permanent.
+func (t *Tree) fixUntagRoot(pr *prims, vio violation) bool {
+	n := vio.n
+	var cur *Node
+	ei, _ := pr.llx(&t.entry.hdr, func() { cur = t.entry.children[0].Get(pr.tx) })
+	if pr.failed {
+		return false
+	}
+	if cur != n {
+		pr.fail()
+		return false
+	}
+	nn, ni, ok := pr.copyNode(n, false)
+	if !ok {
+		return false
+	}
+	return pr.scx(
+		[]*llxscx.Hdr{&t.entry.hdr, &n.hdr}, []*llxscx.Info{ei, ni},
+		[]*llxscx.Hdr{&n.hdr}, &t.entry.children[0], n, nn)
+}
+
+// fixCollapseRoot removes a unary internal root, shrinking the height.
+// The fast path relinks the child directly; the template paths must
+// install a copy (the child pointer field may never reacquire a value
+// it previously held — the ABA rule of Section 6.1).
+func (t *Tree) fixCollapseRoot(pr *prims, vio violation) bool {
+	n := vio.n
+	var cur *Node
+	ei, _ := pr.llx(&t.entry.hdr, func() { cur = t.entry.children[0].Get(pr.tx) })
+	if pr.failed {
+		return false
+	}
+	if cur != n {
+		pr.fail()
+		return false
+	}
+	var child *Node
+	ni, _ := pr.llx(&n.hdr, func() { child = n.children[0].Get(pr.tx) })
+	if pr.failed {
+		return false
+	}
+	if pr.m == modeFast {
+		t.entry.children[0].Set(pr.tx, child)
+		n.hdr.SetMarked(pr.tx)
+		return true
+	}
+	nc, ci, ok := pr.copyNode(child, child.tagged)
+	if !ok {
+		return false
+	}
+	return pr.scx(
+		[]*llxscx.Hdr{&t.entry.hdr, &n.hdr, &child.hdr},
+		[]*llxscx.Info{ei, ni, ci},
+		[]*llxscx.Hdr{&n.hdr, &child.hdr},
+		&t.entry.children[0], n, nc)
+}
+
+// fixTag repairs a tagged non-root node n under parent p: if p has room,
+// n's children are absorbed into p; otherwise p and n redistribute into
+// two nodes under a new tagged parent and the violation moves up
+// (split-push-up).
+func (t *Tree) fixTag(pr *prims, vio violation) bool {
+	b := t.cfg.B
+	gp, p, n := vio.gp, vio.p, vio.n
+
+	var pCur *Node
+	gi, _ := pr.llx(&gp.hdr, func() { pCur = gp.children[vio.pIdx].Get(pr.tx) })
+	if pr.failed {
+		return false
+	}
+	if pCur != p {
+		pr.fail()
+		return false
+	}
+	pSnap, pi, ok := pr.snapshotChildren(p)
+	if !ok {
+		return false
+	}
+	if vio.nIdx >= len(pSnap) || pSnap[vio.nIdx] != n {
+		pr.fail()
+		return false
+	}
+	nSnap, ni, ok := pr.snapshotChildren(n)
+	if !ok {
+		return false
+	}
+
+	// Combined child/key sequences of p with n expanded in place.
+	children := make([]*Node, 0, len(pSnap)+len(nSnap)-1)
+	children = append(children, pSnap[:vio.nIdx]...)
+	children = append(children, nSnap...)
+	children = append(children, pSnap[vio.nIdx+1:]...)
+	keys := make([]uint64, 0, len(children)-1)
+	keys = append(keys, p.keys[:vio.nIdx]...)
+	keys = append(keys, n.keys...)
+	keys = append(keys, p.keys[vio.nIdx:]...)
+
+	v := []*llxscx.Hdr{&gp.hdr, &p.hdr, &n.hdr}
+	infos := []*llxscx.Info{gi, pi, ni}
+	r := []*llxscx.Hdr{&p.hdr, &n.hdr}
+	fld := &gp.children[vio.pIdx]
+
+	if len(children) <= b {
+		// Absorb: one untagged replacement for p.
+		return pr.scx(v, infos, r, fld, p, newInternal(keys, children, false))
+	}
+	// Split-push-up: two halves under a new parent that inherits the tag
+	// (unless it becomes the root).
+	lo := (len(children) + 1) / 2
+	left := newInternal(keys[:lo-1], children[:lo], false)
+	right := newInternal(keys[lo:], children[lo:], false)
+	np := newInternal([]uint64{keys[lo-1]}, []*Node{left, right}, gp != t.entry)
+	return pr.scx(v, infos, r, fld, p, np)
+}
+
+// fixUnderfull repairs an underfull non-root node n: it joins with or
+// shares from an adjacent sibling. A tagged sibling is repaired first
+// (its subtree is one level taller, so it cannot be joined directly).
+func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
+	b := t.cfg.B
+	gp, p, n := vio.gp, vio.p, vio.n
+
+	var pCur *Node
+	gi, _ := pr.llx(&gp.hdr, func() { pCur = gp.children[vio.pIdx].Get(pr.tx) })
+	if pr.failed {
+		return false
+	}
+	if pCur != p {
+		pr.fail()
+		return false
+	}
+	pSnap, pi, ok := pr.snapshotChildren(p)
+	if !ok {
+		return false
+	}
+	if vio.nIdx >= len(pSnap) || pSnap[vio.nIdx] != n {
+		pr.fail()
+		return false
+	}
+	if len(pSnap) < 2 {
+		// p is unary (transient mid-rebalance state): its own violation
+		// sits above n's and must be repaired first; the path walk will
+		// find it (p unary implies p is underfull or the root).
+		pr.fail()
+		return false
+	}
+
+	sIdx := vio.nIdx + 1
+	if vio.nIdx > 0 {
+		sIdx = vio.nIdx - 1
+	}
+	s := pSnap[sIdx]
+	if s.tagged {
+		// Repair the taller, tagged sibling first.
+		return t.fixTag(pr, violation{
+			kind: vTag, gp: gp, p: p, n: s, pIdx: vio.pIdx, nIdx: sIdx,
+		})
+	}
+	if s.leaf != n.leaf {
+		// Levels disagree without a tag: a concurrent restructuring is
+		// mid-flight somewhere; retry from a fresh search.
+		pr.fail()
+		return false
+	}
+
+	li, ri := vio.nIdx, sIdx // left/right order of n and s within p
+	if sIdx < vio.nIdx {
+		li, ri = sIdx, vio.nIdx
+	}
+	left, right := pSnap[li], pSnap[ri]
+	sep := p.keys[li]
+
+	// Snapshot both nodes' content, in child order (V order is fixed
+	// top-down, left-to-right for the SCX freezing discipline).
+	var leftPairs, rightPairs []kv
+	var leftSnap, rightSnap []*Node
+	var leftInfo, rightInfo *llxscx.Info
+	if n.leaf {
+		leftInfo, _ = pr.llx(&left.hdr, func() {
+			readLeaf(pr.tx, left, &pr.h.buf)
+			leftPairs = append([]kv(nil), pr.h.buf...)
+		})
+		if pr.failed {
+			return false
+		}
+		rightInfo, _ = pr.llx(&right.hdr, func() {
+			readLeaf(pr.tx, right, &pr.h.buf)
+			rightPairs = append([]kv(nil), pr.h.buf...)
+		})
+		if pr.failed {
+			return false
+		}
+	} else {
+		leftSnap, leftInfo, ok = pr.snapshotChildren(left)
+		if !ok {
+			return false
+		}
+		rightSnap, rightInfo, ok = pr.snapshotChildren(right)
+		if !ok {
+			return false
+		}
+	}
+
+	v := []*llxscx.Hdr{&gp.hdr, &p.hdr, &left.hdr, &right.hdr}
+	infos := []*llxscx.Info{gi, pi, leftInfo, rightInfo}
+	r := []*llxscx.Hdr{&p.hdr, &left.hdr, &right.hdr}
+	fld := &gp.children[vio.pIdx]
+
+	degL, degR := left.degree(pr.tx), right.degree(pr.tx)
+	if n.leaf {
+		degL, degR = len(leftPairs), len(rightPairs)
+	}
+
+	if degL+degR <= b {
+		// Join left and right into one node.
+		var m *Node
+		if n.leaf {
+			m = newLeaf(b, append(append(make([]kv, 0, degL+degR), leftPairs...), rightPairs...))
+		} else {
+			keys := make([]uint64, 0, degL+degR-1)
+			keys = append(keys, left.keys...)
+			keys = append(keys, sep)
+			keys = append(keys, right.keys...)
+			m = newInternal(keys, append(append(make([]*Node, 0, degL+degR), leftSnap...), rightSnap...), false)
+		}
+		if gp == t.entry && len(pSnap) == 2 {
+			// p was the root and would become unary: collapse directly.
+			return pr.scx(v, infos, r, fld, p, m)
+		}
+		nk := make([]uint64, 0, len(p.keys)-1)
+		nk = append(nk, p.keys[:li]...)
+		nk = append(nk, p.keys[li+1:]...)
+		nc := make([]*Node, 0, len(pSnap)-1)
+		nc = append(nc, pSnap[:li]...)
+		nc = append(nc, m)
+		nc = append(nc, pSnap[ri+1:]...)
+		return pr.scx(v, infos, r, fld, p, newInternal(nk, nc, false))
+	}
+
+	// Share: redistribute so both nodes have at least a entries.
+	lo := (degL + degR + 1) / 2
+	var nl, nr *Node
+	var newSep uint64
+	if n.leaf {
+		all := append(append(make([]kv, 0, degL+degR), leftPairs...), rightPairs...)
+		nl = newLeaf(b, all[:lo])
+		nr = newLeaf(b, all[lo:])
+		newSep = all[lo].k
+	} else {
+		allC := append(append(make([]*Node, 0, degL+degR), leftSnap...), rightSnap...)
+		allK := make([]uint64, 0, degL+degR-1)
+		allK = append(allK, left.keys...)
+		allK = append(allK, sep)
+		allK = append(allK, right.keys...)
+		nl = newInternal(allK[:lo-1], allC[:lo], false)
+		nr = newInternal(allK[lo:], allC[lo:], false)
+		newSep = allK[lo-1]
+	}
+	nk := append([]uint64(nil), p.keys...)
+	nk[li] = newSep
+	nc := make([]*Node, len(pSnap))
+	copy(nc, pSnap)
+	nc[li], nc[ri] = nl, nr
+	return pr.scx(v, infos, r, fld, p, newInternal(nk, nc, false))
+}

@@ -1,0 +1,229 @@
+// Package bst implements the unbalanced external (leaf-oriented) binary
+// search tree of Section 6.1 of Brown's "A Template for Implementing
+// Fast Lock-free Trees Using HTM" (PODC 2017), runnable under every
+// template algorithm the paper studies.
+//
+// The tree is leaf-oriented: dictionary keys live in leaves; internal
+// nodes hold routing keys (keys strictly less than a node's key are in
+// its left subtree) and always have exactly two children. Two sentinel
+// keys ∞₁ < ∞₂ above dict.MaxKey frame the structure as in Ellen et
+// al. (PODC 2010): the root is internal(∞₂) with right child leaf(∞₂),
+// and the user tree (initially leaf(∞₁)) hangs off its left child.
+//
+// Three operation bodies exist per operation:
+//
+//   - fast: the sequential code of Figure 13, run inside a transaction
+//     (or under the TLE lock, or standalone when invoked with a nil
+//     transaction). It mutates leaf values in place and reuses the
+//     sibling on deletion.
+//   - middle: the template code of Figure 12 inside one transaction,
+//     using transactional LLX and SCXInTx.
+//   - fallback: the original lock-free template code using LLXO/SCXO.
+//
+// The searches-outside-transactions optimization of Section 8 is
+// available via Config.SearchOutsideTx: fast/middle bodies then locate
+// their operation point with unsubscribed (non-transactional) reads and
+// revalidate inside the transaction via the marked bits.
+package bst
+
+import (
+	"fmt"
+
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+	"htmtree/internal/llxscx"
+)
+
+// Sentinel keys (paper Section 6.1 / Ellen et al.).
+const (
+	keyInf1 = ^uint64(0) - 1 // ∞₁: largest key in the user subtree
+	keyInf2 = ^uint64(0)     // ∞₂: root sentinel
+)
+
+// Node is a BST node. Internal nodes route by key; leaves carry a
+// key/value pair. Only child pointers are mutable under the template;
+// the fast path additionally mutates leaf values in place (val is
+// therefore a cell) — which is safe precisely because the fast path
+// never runs concurrently with the fallback path (Section 6.1).
+type Node struct {
+	hdr  llxscx.Hdr
+	key  uint64
+	leaf bool
+	val  htm.Word
+	l, r htm.Ref[Node]
+}
+
+// Key returns the node's (immutable) key. Exported for tests.
+func (n *Node) Key() uint64 { return n.key }
+
+func newLeaf(key, val uint64) *Node {
+	n := &Node{key: key, leaf: true}
+	n.val.Init(val)
+	return n
+}
+
+func newInternal(key uint64, left, right *Node) *Node {
+	n := &Node{key: key}
+	n.l.Init(left)
+	n.r.Init(right)
+	return n
+}
+
+// Config configures a Tree.
+type Config struct {
+	// Algorithm selects the template implementation (default 3-path).
+	Algorithm engine.Algorithm
+	// HTM configures the simulated HTM.
+	HTM htm.Config
+	// Engine overrides attempt budgets and the fallback indicator; its
+	// Algorithm field is ignored in favour of Algorithm above.
+	Engine engine.Config
+	// SearchOutsideTx enables the Section 8 optimization.
+	SearchOutsideTx bool
+}
+
+// Tree is a concurrent BST. Create with New; access through per-thread
+// handles from NewHandle.
+type Tree struct {
+	tm   *htm.TM
+	eng  *engine.Engine
+	root *Node
+	cfg  Config
+}
+
+// New creates an empty tree.
+func New(cfg Config) *Tree {
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = engine.AlgThreePath
+	}
+	ecfg := cfg.Engine
+	ecfg.Algorithm = cfg.Algorithm
+	t := &Tree{
+		tm:   htm.New(cfg.HTM),
+		eng:  engine.New(ecfg),
+		root: newInternal(keyInf2, newLeaf(keyInf1, 0), newLeaf(keyInf2, 0)),
+		cfg:  cfg,
+	}
+	return t
+}
+
+// TM exposes the tree's transactional memory (for statistics).
+func (t *Tree) TM() *htm.TM { return t.tm }
+
+// Engine exposes the tree's execution engine (for statistics).
+func (t *Tree) Engine() *engine.Engine { return t.eng }
+
+// OpStats returns per-path operation completion counts
+// (workload.StatsProvider).
+func (t *Tree) OpStats() engine.OpStats { return t.eng.Stats() }
+
+// HTMStats returns per-path transaction commit/abort counts
+// (workload.StatsProvider).
+func (t *Tree) HTMStats() htm.Stats { return t.tm.Stats() }
+
+// Handle is a per-thread handle to the tree. Operation arguments and
+// results travel through the handle's scratch fields so the engine op
+// closures can be built once per handle instead of once per operation.
+type Handle struct {
+	t *Tree
+	e *engine.Thread
+
+	argKey, argVal uint64
+	argLo, argHi   uint64
+	resVal         uint64
+	resFound       bool
+	rqOut          []dict.KV
+
+	insertOp, deleteOp, searchOp, rqOp engine.Op
+}
+
+var _ dict.Handle = (*Handle)(nil)
+
+// NewHandle registers a per-thread handle.
+func (t *Tree) NewHandle() dict.Handle { return t.newHandle() }
+
+func (t *Tree) newHandle() *Handle {
+	h := &Handle{t: t, e: t.eng.NewThread(t.tm.NewThread())}
+	h.buildOps()
+	return h
+}
+
+// childRef returns the child field of p that a search for key follows.
+func childRef(p *Node, key uint64) *htm.Ref[Node] {
+	if key < p.key {
+		return &p.l
+	}
+	return &p.r
+}
+
+// search descends from the root, returning the grandparent (nil when the
+// leaf hangs directly off the root), parent and leaf on key's search
+// path. With tx == nil the reads are plain atomic reads; inside a
+// transaction they subscribe the caller.
+func (t *Tree) search(tx *htm.Tx, key uint64) (gp, p, l *Node) {
+	p = t.root
+	l = p.l.Get(tx) // real keys are always < ∞₂, so the search goes left
+	for !l.leaf {
+		gp, p = p, l
+		l = childRef(l, key).Get(tx)
+	}
+	return gp, p, l
+}
+
+// KeySum returns the sum and count of user keys. Quiescent use only.
+func (t *Tree) KeySum() (sum, count uint64) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			if n.key < keyInf1 {
+				sum += n.key
+				count++
+			}
+			return
+		}
+		walk(n.l.Get(nil))
+		walk(n.r.Get(nil))
+	}
+	walk(t.root)
+	return sum, count
+}
+
+// CheckInvariants validates the structural invariants of the tree
+// (quiescent use only) and returns a descriptive error when one fails:
+// internal nodes have two children, keys respect the routing rule, the
+// sentinel frame is intact, and no reachable node is marked.
+func (t *Tree) CheckInvariants() error {
+	return checkNode(t.root, 0, keyInf2)
+}
+
+// checkNode verifies the subtree at n routes keys in [lo, hi] correctly
+// (hi inclusive since ∞₂ == MaxUint64).
+func checkNode(n *Node, lo, hi uint64) error {
+	if n == nil {
+		return fmt.Errorf("bst: nil node reachable")
+	}
+	if n.hdr.Marked(nil) {
+		return fmt.Errorf("bst: reachable node with key %d is marked", n.key)
+	}
+	if n.key < lo || n.key > hi {
+		return fmt.Errorf("bst: key %d outside routing range [%d,%d]", n.key, lo, hi)
+	}
+	if n.leaf {
+		return nil
+	}
+	l, r := n.l.Get(nil), n.r.Get(nil)
+	if l == nil || r == nil {
+		return fmt.Errorf("bst: internal node %d missing a child", n.key)
+	}
+	if n.key == 0 {
+		return fmt.Errorf("bst: internal node with key 0 (nothing can route left)")
+	}
+	if err := checkNode(l, lo, n.key-1); err != nil {
+		return err
+	}
+	return checkNode(r, n.key, hi)
+}

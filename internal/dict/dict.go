@@ -1,0 +1,40 @@
+// Package dict defines the ordered-dictionary abstraction shared by the
+// paper's data structures (Section 6): a set of uint64 keys with
+// associated uint64 values, supporting Insert, Delete, Search and
+// RangeQuery, plus the quiescent checksum the evaluation methodology
+// (Section 7.1) uses for validation.
+package dict
+
+// KV is a key-value pair returned by range queries.
+type KV struct {
+	Key, Val uint64
+}
+
+// MaxKey is the largest key a client may use. Larger values are reserved
+// for the data structures' internal sentinels.
+const MaxKey = ^uint64(0) - 8
+
+// Handle is a per-thread handle to a dictionary. A Handle must be used
+// by one goroutine at a time; create one per worker.
+type Handle interface {
+	// Insert associates key with val, returning the previous value and
+	// whether the key was already present.
+	Insert(key, val uint64) (old uint64, existed bool)
+	// Delete removes key, returning its value and whether it was present.
+	Delete(key uint64) (old uint64, existed bool)
+	// Search returns the value associated with key, if present.
+	Search(key uint64) (val uint64, found bool)
+	// RangeQuery appends all pairs with lo <= key < hi to out (in
+	// ascending key order) and returns the extended slice.
+	RangeQuery(lo, hi uint64, out []KV) []KV
+}
+
+// Dict is a concurrent ordered dictionary.
+type Dict interface {
+	// NewHandle registers a new per-thread handle.
+	NewHandle() Handle
+	// KeySum returns the sum and count of the keys present. It must only
+	// be called while no operations are in flight; it is the checksum
+	// the paper's key-sum validation compares against.
+	KeySum() (sum, count uint64)
+}

@@ -1,0 +1,161 @@
+// Package ebr implements DEBRA-style epoch-based reclamation (Brown,
+// PODC 2015), the scheme the paper's experiments used, together with
+// the Section 9 observation: nodes removed inside a transaction can be
+// recycled *immediately* when every observer is also transactional
+// (a reader of recycled memory simply aborts), while nodes the
+// fallback path may still reference must wait out a grace period.
+//
+// Go's garbage collector makes reclamation optional, so this package is
+// used for node pooling: Retire defers recycling until two epoch
+// advances guarantee no thread still holds a reference, and RetireFast
+// recycles immediately (the 3-path fast-path discipline).
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// advanceEvery is how many retirements a thread performs between
+// attempts to advance the global epoch.
+const advanceEvery = 32
+
+// Manager coordinates epochs across threads.
+type Manager struct {
+	epoch atomic.Uint64
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// New creates a manager. The free callback receives every object whose
+// grace period has expired (typically returning it to a pool).
+func New() *Manager {
+	m := &Manager{}
+	m.epoch.Store(1)
+	return m
+}
+
+// Thread is a per-goroutine reclamation context.
+type Thread struct {
+	m       *Manager
+	ann     atomic.Uint64 // announced epoch<<1 | active
+	bags    [3][]any
+	bagEra  [3]uint64
+	retires int
+	free    func(any)
+}
+
+// NewThread registers a thread whose expired retirees are passed to
+// free.
+func (m *Manager) NewThread(free func(any)) *Thread {
+	t := &Thread{m: m, free: free}
+	m.mu.Lock()
+	m.threads = append(m.threads, t)
+	m.mu.Unlock()
+	return t
+}
+
+// Begin enters an operation: the thread announces the current epoch and
+// becomes visible to grace-period computations. Operations must be
+// bracketed Begin/End and must not nest.
+func (t *Thread) Begin() {
+	e := t.m.epoch.Load()
+	t.ann.Store(e<<1 | 1)
+	t.drain(e)
+}
+
+// End leaves the operation.
+func (t *Thread) End() {
+	t.ann.Store(t.ann.Load() &^ 1)
+}
+
+// Retire schedules x for recycling once no thread can still hold a
+// reference obtained before this call (two epoch advances).
+func (t *Thread) Retire(x any) {
+	e := t.m.epoch.Load()
+	i := e % 3
+	if t.bagEra[i] != e {
+		// The bag holds retirees from an epoch that is at least 3 old:
+		// their grace period has long expired.
+		t.flush(i)
+		t.bagEra[i] = e
+	}
+	t.bags[i] = append(t.bags[i], x)
+	t.retires++
+	if t.retires%advanceEvery == 0 {
+		t.tryAdvance()
+	}
+}
+
+// RetireFast recycles x immediately — the Section 9 fast-path rule,
+// sound only when every thread that could still reference x runs
+// transactionally (so a stale access aborts rather than observing the
+// recycled object). The caller asserts that condition; for the 3-path
+// algorithm it holds for nodes removed on the fast path, because the
+// fallback path is excluded while the fast path runs and re-searches
+// from the root afterwards.
+func (t *Thread) RetireFast(x any) {
+	t.free(x)
+}
+
+// drain frees bags whose grace period expired as of epoch e.
+func (t *Thread) drain(e uint64) {
+	for i := uint64(0); i < 3; i++ {
+		if t.bagEra[i] != 0 && e >= t.bagEra[i]+2 {
+			t.flush(i)
+		}
+	}
+}
+
+func (t *Thread) flush(i uint64) {
+	for _, x := range t.bags[i] {
+		t.free(x)
+	}
+	t.bags[i] = t.bags[i][:0]
+	t.bagEra[i] = 0
+}
+
+// tryAdvance advances the global epoch when every active thread has
+// announced it.
+func (t *Thread) tryAdvance() {
+	e := t.m.epoch.Load()
+	t.m.mu.Lock()
+	threads := t.m.threads
+	t.m.mu.Unlock()
+	for _, o := range threads {
+		a := o.ann.Load()
+		if a&1 == 1 && a>>1 != e {
+			return // an active thread lags; no new grace period yet
+		}
+	}
+	t.m.epoch.CompareAndSwap(e, e+1)
+}
+
+// Pool is a trivial free-list used as the free target in tests and
+// benchmarks; it counts recycled objects so reuse is observable.
+type Pool struct {
+	mu       sync.Mutex
+	items    []any
+	Recycled atomic.Uint64
+}
+
+// Put stores x for reuse.
+func (p *Pool) Put(x any) {
+	p.Recycled.Add(1)
+	p.mu.Lock()
+	p.items = append(p.items, x)
+	p.mu.Unlock()
+}
+
+// Get returns a recycled object, or nil.
+func (p *Pool) Get() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.items) == 0 {
+		return nil
+	}
+	x := p.items[len(p.items)-1]
+	p.items = p.items[:len(p.items)-1]
+	return x
+}

@@ -1,0 +1,163 @@
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGracePeriodOrdering(t *testing.T) {
+	t.Parallel()
+	m := New()
+	var freed []int
+	th := m.NewThread(func(x any) { freed = append(freed, x.(int)) })
+
+	th.Begin()
+	th.Retire(1)
+	th.End()
+	if len(freed) != 0 {
+		t.Fatal("retiree freed before any grace period")
+	}
+	// Drive epochs forward; with only one (quiescent) thread the epoch
+	// advances freely and bags drain after two advances.
+	for i := 0; i < 4*advanceEvery; i++ {
+		th.Begin()
+		th.Retire(100 + i)
+		th.End()
+	}
+	th.Begin()
+	th.End()
+	if len(freed) == 0 {
+		t.Fatal("nothing freed after multiple epoch advances")
+	}
+	if freed[0] != 1 {
+		t.Fatalf("first freed = %d, want the first retiree", freed[0])
+	}
+}
+
+func TestActiveThreadBlocksAdvance(t *testing.T) {
+	t.Parallel()
+	m := New()
+	blocker := m.NewThread(func(any) {})
+	freedCount := 0
+	worker := m.NewThread(func(any) { freedCount++ })
+
+	blocker.Begin() // stays active at the current epoch
+
+	e0 := m.epoch.Load()
+	for i := 0; i < 10*advanceEvery; i++ {
+		worker.Begin()
+		worker.Retire(i)
+		worker.End()
+	}
+	// The epoch may advance once (the blocker announced e0), but a
+	// second advance — and therefore any reclamation — requires the
+	// blocker to move on: the two-advance grace period.
+	if e := m.epoch.Load(); e > e0+1 {
+		t.Fatalf("epoch advanced to %d past active thread at %d", e, e0)
+	}
+	if freedCount != 0 {
+		t.Fatal("retirees freed while a pre-epoch thread was active")
+	}
+	blocker.End()
+	for i := 0; i < 10*advanceEvery; i++ {
+		worker.Begin()
+		worker.Retire(1000 + i)
+		worker.End()
+	}
+	if freedCount == 0 {
+		t.Fatal("nothing freed after the blocker left")
+	}
+}
+
+// TestNoUseAfterFree runs readers traversing a mutable chain while a
+// writer unlinks and retires nodes: no reader may ever observe a node
+// after its free callback ran.
+func TestNoUseAfterFree(t *testing.T) {
+	t.Parallel()
+	type node struct {
+		freed atomic.Bool
+		next  atomic.Pointer[node]
+	}
+	m := New()
+	var head atomic.Pointer[node]
+	mk := func() *node { return &node{} }
+	// chain of 8
+	first := mk()
+	cur := first
+	for i := 0; i < 7; i++ {
+		n := mk()
+		cur.next.Store(n)
+		cur = n
+	}
+	head.Store(first)
+
+	var violations atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := m.NewThread(func(any) {})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Begin()
+				for n := head.Load(); n != nil; n = n.next.Load() {
+					if n.freed.Load() {
+						violations.Add(1)
+					}
+				}
+				th.End()
+			}
+		}()
+	}
+
+	writer := m.NewThread(func(x any) { x.(*node).freed.Store(true) })
+	for i := 0; i < 3000; i++ {
+		writer.Begin()
+		// Unlink the head node, push a replacement, retire the old one.
+		old := head.Load()
+		n := mk()
+		n.next.Store(old.next.Load())
+		head.Store(n)
+		writer.Retire(old)
+		writer.End()
+	}
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d use-after-free observations", v)
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	t.Parallel()
+	var p Pool
+	if p.Get() != nil {
+		t.Fatal("empty pool returned an object")
+	}
+	p.Put(42)
+	if got := p.Get(); got != 42 {
+		t.Fatalf("Get = %v, want 42", got)
+	}
+	if p.Recycled.Load() != 1 {
+		t.Fatal("recycle count wrong")
+	}
+}
+
+// TestRetireFastImmediate documents the Section 9 fast-path rule.
+func TestRetireFastImmediate(t *testing.T) {
+	t.Parallel()
+	m := New()
+	var p Pool
+	th := m.NewThread(p.Put)
+	th.RetireFast(7)
+	if got := p.Get(); got != 7 {
+		t.Fatalf("RetireFast did not recycle immediately: %v", got)
+	}
+}

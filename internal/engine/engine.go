@@ -1,0 +1,416 @@
+// Package engine implements the execution-path policies of Brown's
+// accelerated tree-update-template algorithms (PODC 2017, Sections 1 and
+// 5): the original lock-free template (non-htm), transactional lock
+// elision (tle), the two 2-path algorithms (with and without concurrency
+// between the HTM fast path and the software fallback path), the 3-path
+// algorithm that is the paper's contribution, and the standalone
+// HTM-SCX algorithm of Section 4 as an ablation.
+//
+// The engine owns only policy: which body to attempt, how many times,
+// when to wait and when to move between paths, and the bookkeeping
+// (fallback-presence counter F or SNZI, TLE global lock, per-path
+// operation counters). Data structures supply the bodies.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"htmtree/internal/htm"
+	"htmtree/internal/llxscx"
+	"htmtree/internal/snzi"
+)
+
+// Algorithm selects one of the template implementations studied in the
+// paper.
+type Algorithm uint8
+
+// Template algorithms. The names follow the paper: TwoPathConc is
+// "2-path con" (concurrency between fast and fallback paths, so the fast
+// path runs instrumented LLX/SCX code); TwoPathNCon is the non-concurrent
+// variant (sequential fast path, fallback presence counter F); ThreePath
+// is the paper's contribution.
+const (
+	AlgNonHTM Algorithm = iota + 1
+	AlgTLE
+	AlgTwoPathConc
+	AlgTwoPathNCon
+	AlgThreePath
+	AlgSCXHTM // Section 4: HTM LLX/SCX primitives, operation structure unchanged
+)
+
+// Algorithms lists every algorithm in presentation order.
+var Algorithms = []Algorithm{
+	AlgNonHTM, AlgTLE, AlgTwoPathConc, AlgTwoPathNCon, AlgThreePath, AlgSCXHTM,
+}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgNonHTM:
+		return "non-htm"
+	case AlgTLE:
+		return "tle"
+	case AlgTwoPathConc:
+		return "2-path-con"
+	case AlgTwoPathNCon:
+		return "2-path-ncon"
+	case AlgThreePath:
+		return "3-path"
+	case AlgSCXHTM:
+		return "scx-htm"
+	default:
+		return fmt.Sprintf("algorithm(%d)", uint8(a))
+	}
+}
+
+// ParseAlgorithm converts a name produced by Algorithm.String back to the
+// algorithm, reporting whether the name was recognized.
+func ParseAlgorithm(s string) (Algorithm, bool) {
+	for _, a := range Algorithms {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Explicit abort codes used by the engine and the data-structure bodies.
+const (
+	// CodeRetry signals a logical retry: an LLX failed, a record was
+	// concurrently finalized, or a validation check failed.
+	CodeRetry uint8 = 0x01
+	// CodeFallbackBusy signals that a fast-path transaction observed the
+	// fallback-presence indicator non-zero.
+	CodeFallbackBusy uint8 = 0x02
+	// CodeLockHeld signals that a TLE transaction observed the global
+	// lock held.
+	CodeLockHeld uint8 = 0x03
+)
+
+// Default attempt budgets (paper Section 7: 20 attempts for the 2-path
+// algorithms and TLE, 10 + 10 for 3-path).
+const (
+	DefaultAttemptLimit = 20
+	DefaultFastLimit    = 10
+	DefaultMiddleLimit  = 10
+)
+
+// Indicator abstracts the fallback-presence counter F. The paper notes a
+// fetch-and-increment object suffices and a scalable non-zero indicator
+// (SNZI) can replace it; both are provided.
+type Indicator interface {
+	// Arrive notes that an operation entered the fallback path and
+	// returns the function that retracts this particular arrival.
+	Arrive() (depart func())
+	// Nonzero reports whether any operation is on the fallback path. A
+	// transactional read (tx != nil) subscribes the caller so that a
+	// change aborts it (for an SNZI, only 0↔nonzero transitions do).
+	Nonzero(tx *htm.Tx) bool
+}
+
+// counterIndicator is the plain fetch-and-increment implementation.
+type counterIndicator struct {
+	f htm.Word
+}
+
+func (c *counterIndicator) Arrive() func() {
+	c.f.Add(1)
+	return c.depart
+}
+func (c *counterIndicator) depart()                 { c.f.Add(^uint64(0)) }
+func (c *counterIndicator) Nonzero(tx *htm.Tx) bool { return c.f.Get(tx) != 0 }
+
+// snziIndicator adapts an SNZI to the Indicator interface.
+type snziIndicator struct {
+	s *snzi.SNZI
+}
+
+// NewSNZIIndicator returns an Indicator backed by a scalable non-zero
+// indicator, the alternative to the fetch-and-increment counter the
+// paper suggests in Section 5.
+func NewSNZIIndicator() Indicator { return &snziIndicator{s: snzi.New()} }
+
+func (si *snziIndicator) Arrive() func() {
+	t := si.s.Arrive()
+	return func() { si.s.Depart(t) }
+}
+func (si *snziIndicator) Nonzero(tx *htm.Tx) bool { return si.s.Nonzero(tx) }
+
+// Config controls an Engine.
+type Config struct {
+	// Algorithm selects the template implementation. Required.
+	Algorithm Algorithm
+	// AttemptLimit is the fast-path budget for TLE and the 2-path
+	// algorithms (default 20).
+	AttemptLimit int
+	// FastLimit and MiddleLimit are the 3-path budgets (default 10 each).
+	FastLimit   int
+	MiddleLimit int
+	// Indicator overrides the fallback-presence indicator (default: a
+	// fetch-and-increment counter). Use snzi.New() for the scalable
+	// variant.
+	Indicator Indicator
+}
+
+func (c Config) withDefaults() Config {
+	if c.AttemptLimit == 0 {
+		c.AttemptLimit = DefaultAttemptLimit
+	}
+	if c.FastLimit == 0 {
+		c.FastLimit = DefaultFastLimit
+	}
+	if c.MiddleLimit == 0 {
+		c.MiddleLimit = DefaultMiddleLimit
+	}
+	if c.Indicator == nil {
+		c.Indicator = &counterIndicator{}
+	}
+	return c
+}
+
+// Engine executes operations according to one of the template
+// algorithms.
+type Engine struct {
+	cfg Config
+	tle htm.Word // TLE global lock (0 free, 1 held)
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// New creates an engine. Zero fields of cfg select defaults.
+func New(cfg Config) *Engine {
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = AlgThreePath
+	}
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// Algorithm returns the engine's algorithm.
+func (e *Engine) Algorithm() Algorithm { return e.cfg.Algorithm }
+
+// Thread is the per-goroutine execution context: the HTM thread, the
+// tagged-sequence-number source, and per-path operation counters.
+type Thread struct {
+	// H is the simulated-HTM thread context.
+	H *htm.Thread
+	// Tags produces the fresh tagged info values HTM-path SCXs write.
+	Tags llxscx.TagSource
+
+	eng *Engine
+	ops [4]uint64 // completions indexed by htm.PathKind
+}
+
+// NewThread registers a new engine thread wrapping the given HTM thread.
+func (e *Engine) NewThread(h *htm.Thread) *Thread {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	th := &Thread{H: h, eng: e}
+	e.threads = append(e.threads, th)
+	return th
+}
+
+// OpStats counts operation completions per execution path.
+type OpStats struct {
+	Fast     uint64
+	Middle   uint64
+	Fallback uint64
+}
+
+// Total returns the total number of completed operations.
+func (s OpStats) Total() uint64 { return s.Fast + s.Middle + s.Fallback }
+
+// Stats sums the per-path operation completions over all threads. Safe
+// to call while threads run (the snapshot is then approximate).
+func (e *Engine) Stats() OpStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var s OpStats
+	for _, th := range e.threads {
+		s.Fast += atomic.LoadUint64(&th.ops[htm.PathFast])
+		s.Middle += atomic.LoadUint64(&th.ops[htm.PathMiddle])
+		s.Fallback += atomic.LoadUint64(&th.ops[htm.PathFallback])
+	}
+	return s
+}
+
+func (th *Thread) completed(p htm.PathKind) {
+	atomic.AddUint64(&th.ops[p], 1)
+}
+
+// Op supplies the bodies of one data-structure operation. Bodies are
+// invoked repeatedly (one invocation per attempt) and must re-read all
+// state from the top each time; results are delivered through variables
+// the closures capture.
+type Op struct {
+	// Fast is the uninstrumented sequential body run inside a
+	// transaction (used by TLE, 2-path-ncon and 3-path). It signals a
+	// logical retry by calling tx.Abort(CodeRetry); completing normally
+	// commits the operation.
+	Fast func(tx *htm.Tx)
+	// Middle is the instrumented template body (transactional LLX +
+	// SCXInTx) run inside a transaction (used as 3-path's middle path
+	// and as 2-path-con's fast path).
+	Middle func(tx *htm.Tx)
+	// Fallback is the original lock-free template body (LLXO/SCXO). It
+	// returns false to request a retry.
+	Fallback func() bool
+	// Locked is the sequential body run under the TLE global lock; it
+	// must always complete. Only used by AlgTLE.
+	Locked func()
+	// SCXHTM is the Section 4 body: template structure with
+	// non-transactional LLX and the standalone HTM SCX when useHTM is
+	// true, or SCXO when false. It returns false to request a retry.
+	// Only used by AlgSCXHTM.
+	SCXHTM func(useHTM bool) bool
+}
+
+// Run executes op under the engine's algorithm and returns the path the
+// operation completed on.
+func (th *Thread) Run(op Op) htm.PathKind {
+	e := th.eng
+	switch e.cfg.Algorithm {
+	case AlgNonHTM:
+		th.runFallbackLoop(op, nil)
+		return htm.PathFallback
+
+	case AlgTLE:
+		return th.runTLE(op)
+
+	case AlgTwoPathConc:
+		// Fast path: the whole operation in one transaction using the
+		// HTM-based LLX and SCX; it may run concurrently with the
+		// fallback path, so no presence indicator is needed.
+		for i := 0; i < e.cfg.AttemptLimit; i++ {
+			if ok, _ := th.H.Atomic(htm.PathFast, op.Middle); ok {
+				th.completed(htm.PathFast)
+				return htm.PathFast
+			}
+		}
+		th.runFallbackLoop(op, nil)
+		return htm.PathFallback
+
+	case AlgTwoPathNCon:
+		ind := e.cfg.Indicator
+		for i := 0; i < e.cfg.AttemptLimit; i++ {
+			// Wait for the fallback path to empty before each attempt
+			// (this waiting is the 2-path-ncon bottleneck the paper
+			// highlights).
+			waitWhile(func() bool { return ind.Nonzero(nil) })
+			ok, _ := th.H.Atomic(htm.PathFast, func(tx *htm.Tx) {
+				if ind.Nonzero(tx) {
+					tx.Abort(CodeFallbackBusy)
+				}
+				op.Fast(tx)
+			})
+			if ok {
+				th.completed(htm.PathFast)
+				return htm.PathFast
+			}
+		}
+		th.runFallbackLoop(op, ind)
+		return htm.PathFallback
+
+	case AlgThreePath:
+		ind := e.cfg.Indicator
+		// Fast path: move to the middle path after FastLimit attempts,
+		// immediately if the fallback path is busy, and immediately on a
+		// capacity abort (the transaction cannot fit; hardware reports
+		// this via the "retry" hint bit being clear).
+		for i := 0; i < e.cfg.FastLimit; i++ {
+			ok, ab := th.H.Atomic(htm.PathFast, func(tx *htm.Tx) {
+				if ind.Nonzero(tx) {
+					tx.Abort(CodeFallbackBusy)
+				}
+				op.Fast(tx)
+			})
+			if ok {
+				th.completed(htm.PathFast)
+				return htm.PathFast
+			}
+			if ab.Cause == htm.CauseCapacity ||
+				(ab.Cause == htm.CauseExplicit && ab.Code == CodeFallbackBusy) {
+				break
+			}
+		}
+		for i := 0; i < e.cfg.MiddleLimit; i++ {
+			ok, ab := th.H.Atomic(htm.PathMiddle, op.Middle)
+			if ok {
+				th.completed(htm.PathMiddle)
+				return htm.PathMiddle
+			}
+			if ab.Cause == htm.CauseCapacity {
+				break
+			}
+		}
+		th.runFallbackLoop(op, ind)
+		return htm.PathFallback
+
+	case AlgSCXHTM:
+		for i := 0; i < e.cfg.AttemptLimit; i++ {
+			if op.SCXHTM(true) {
+				th.completed(htm.PathFast)
+				return htm.PathFast
+			}
+		}
+		for !op.SCXHTM(false) {
+		}
+		th.completed(htm.PathFallback)
+		return htm.PathFallback
+
+	default:
+		panic(fmt.Sprintf("engine: unknown algorithm %d", e.cfg.Algorithm))
+	}
+}
+
+// runTLE implements transactional lock elision: the fast path subscribes
+// to the global lock and aborts while it is held; after AttemptLimit
+// failed attempts the operation acquires the lock and runs the
+// sequential body. TLE is deadlock-free but not lock-free.
+func (th *Thread) runTLE(op Op) htm.PathKind {
+	e := th.eng
+	for i := 0; i < e.cfg.AttemptLimit; i++ {
+		waitWhile(func() bool { return e.tle.Get(nil) != 0 })
+		ok, _ := th.H.Atomic(htm.PathFast, func(tx *htm.Tx) {
+			if e.tle.Get(tx) != 0 {
+				tx.Abort(CodeLockHeld)
+			}
+			op.Fast(tx)
+		})
+		if ok {
+			th.completed(htm.PathFast)
+			return htm.PathFast
+		}
+	}
+	for !e.tle.CAS(nil, 0, 1) {
+		runtime.Gosched()
+	}
+	op.Locked()
+	e.tle.Set(nil, 0)
+	th.completed(htm.PathFallback)
+	return htm.PathFallback
+}
+
+// runFallbackLoop runs the lock-free fallback body to completion,
+// bracketing it with the presence indicator when one is in use.
+func (th *Thread) runFallbackLoop(op Op, ind Indicator) {
+	if ind != nil {
+		depart := ind.Arrive()
+		defer depart()
+	}
+	for !op.Fallback() {
+	}
+	th.completed(htm.PathFallback)
+}
+
+// waitWhile spins (yielding) while cond holds.
+func waitWhile(cond func() bool) {
+	for i := 0; cond(); i++ {
+		if i%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package htm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// clock is the global version clock. Every write to shared memory —
+// transactional commit or non-transactional store/CAS — advances it, and
+// transactions validate their read sets against it. A single process-wide
+// monotonic counter (rather than one per TM) keeps cells free-standing
+// and zero-value-ready; sharing it across TM instances is harmless
+// because only monotonicity matters.
+var clock atomic.Uint64
+
+// ClockValue returns the current value of the global version clock.
+// It is exported for tests and diagnostics.
+func ClockValue() uint64 { return clock.Load() }
+
+// Version-word encoding: version<<1 | lockBit.
+const lockBit = 1
+
+// cell is the interface the transaction log uses to apply buffered writes
+// without knowing the concrete cell type.
+type cell interface {
+	version() *atomic.Uint64
+	applyWord(v uint64)
+	applyPtr(p any)
+}
+
+// acquireNonTx locks a version word for a non-transactional operation,
+// spinning (these critical sections are a handful of instructions long)
+// and returning the pre-lock version word.
+func acquireNonTx(ver *atomic.Uint64) uint64 {
+	for i := 0; ; i++ {
+		v := ver.Load()
+		if v&lockBit == 0 && ver.CompareAndSwap(v, v|lockBit) {
+			return v
+		}
+		if i%128 == 127 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Word is a shared uint64 cell. The zero value is an unlocked cell
+// holding 0. All access, transactional (tx != nil) and non-transactional
+// (tx == nil), must go through its methods.
+type Word struct {
+	ver atomic.Uint64
+	val atomic.Uint64
+}
+
+func (w *Word) version() *atomic.Uint64 { return &w.ver }
+func (w *Word) applyWord(v uint64)      { w.val.Store(v) }
+func (w *Word) applyPtr(any)            { panic("htm: applyPtr on Word") }
+
+// Init sets the cell's value without version bookkeeping. It must only
+// be used on cells that are not yet reachable by other threads (e.g.
+// fields of a freshly allocated node before it is published); the cell
+// keeps version 0, so transactions at any snapshot may read it.
+func (w *Word) Init(v uint64) { w.val.Store(v) }
+
+// Get reads the cell. With a nil tx it performs a non-transactional
+// atomic read; otherwise the read joins tx's read set and may abort tx.
+func (w *Word) Get(tx *Tx) uint64 {
+	if tx == nil {
+		for i := 0; ; i++ {
+			v1 := w.ver.Load()
+			if v1&lockBit == 0 {
+				val := w.val.Load()
+				if w.ver.Load() == v1 {
+					return val
+				}
+			}
+			if i%128 == 127 {
+				runtime.Gosched()
+			}
+		}
+	}
+	if buf, ok := tx.findWrite(w); ok {
+		return buf.word
+	}
+	v := tx.readVersion(&w.ver)
+	val := w.val.Load()
+	if w.ver.Load() != v {
+		tx.abort(CauseConflict)
+	}
+	tx.logRead(&w.ver, v)
+	return val
+}
+
+// Set writes the cell. With a nil tx the store is immediate (locking the
+// cell and bumping the global clock); otherwise it is buffered until tx
+// commits.
+func (w *Word) Set(tx *Tx, v uint64) {
+	if tx == nil {
+		acquireNonTx(&w.ver)
+		nv := clock.Add(1)
+		w.val.Store(v)
+		w.ver.Store(nv << 1)
+		return
+	}
+	tx.logWrite(w, v, nil, false)
+}
+
+// CAS atomically replaces old with new and reports whether it did. Inside
+// a transaction it reduces to a read, a comparison and a buffered write —
+// exactly the sequential-code transformation of Section 4 of the paper.
+func (w *Word) CAS(tx *Tx, old, new uint64) bool {
+	if tx != nil {
+		if w.Get(tx) != old {
+			return false
+		}
+		w.Set(tx, new)
+		return true
+	}
+	prev := acquireNonTx(&w.ver)
+	if w.val.Load() != old {
+		w.ver.Store(prev) // release without a version bump: nothing changed
+		return false
+	}
+	nv := clock.Add(1)
+	w.val.Store(new)
+	w.ver.Store(nv << 1)
+	return true
+}
+
+// Add atomically adds delta (which may be negative via two's complement)
+// to the cell outside any transaction and returns the new value.
+func (w *Word) Add(delta uint64) uint64 {
+	acquireNonTx(&w.ver)
+	nv := clock.Add(1)
+	v := w.val.Load() + delta
+	w.val.Store(v)
+	w.ver.Store(nv << 1)
+	return v
+}
+
+// Ref is a shared pointer cell holding a *T. The zero value is an
+// unlocked cell holding nil.
+type Ref[T any] struct {
+	ver atomic.Uint64
+	val atomic.Pointer[T]
+}
+
+func (r *Ref[T]) version() *atomic.Uint64 { return &r.ver }
+func (r *Ref[T]) applyWord(uint64)        { panic("htm: applyWord on Ref") }
+func (r *Ref[T]) applyPtr(p any) {
+	if p == nil {
+		r.val.Store(nil)
+		return
+	}
+	r.val.Store(p.(*T))
+}
+
+// Init sets the cell's value without version bookkeeping. See Word.Init.
+func (r *Ref[T]) Init(p *T) { r.val.Store(p) }
+
+// Get reads the cell. With a nil tx it performs a non-transactional
+// atomic read; otherwise the read joins tx's read set and may abort tx.
+func (r *Ref[T]) Get(tx *Tx) *T {
+	if tx == nil {
+		for i := 0; ; i++ {
+			v1 := r.ver.Load()
+			if v1&lockBit == 0 {
+				p := r.val.Load()
+				if r.ver.Load() == v1 {
+					return p
+				}
+			}
+			if i%128 == 127 {
+				runtime.Gosched()
+			}
+		}
+	}
+	if buf, ok := tx.findWrite(r); ok {
+		if buf.ptr == nil {
+			return nil
+		}
+		return buf.ptr.(*T)
+	}
+	v := tx.readVersion(&r.ver)
+	p := r.val.Load()
+	if r.ver.Load() != v {
+		tx.abort(CauseConflict)
+	}
+	tx.logRead(&r.ver, v)
+	return p
+}
+
+// Set writes the cell. With a nil tx the store is immediate; otherwise it
+// is buffered until tx commits.
+func (r *Ref[T]) Set(tx *Tx, p *T) {
+	if tx == nil {
+		acquireNonTx(&r.ver)
+		nv := clock.Add(1)
+		r.val.Store(p)
+		r.ver.Store(nv << 1)
+		return
+	}
+	var boxed any
+	if p != nil {
+		boxed = p
+	}
+	tx.logWrite(r, 0, boxed, true)
+}
+
+// CAS atomically replaces old with new (pointer identity) and reports
+// whether it did.
+func (r *Ref[T]) CAS(tx *Tx, old, new *T) bool {
+	if tx != nil {
+		if r.Get(tx) != old {
+			return false
+		}
+		r.Set(tx, new)
+		return true
+	}
+	prev := acquireNonTx(&r.ver)
+	if r.val.Load() != old {
+		r.ver.Store(prev)
+		return false
+	}
+	nv := clock.Add(1)
+	r.val.Store(new)
+	r.ver.Store(nv << 1)
+	return true
+}

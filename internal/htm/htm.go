@@ -1,0 +1,154 @@
+// Package htm provides a simulated best-effort hardware transactional
+// memory in the style of Intel TSX/RTM, used as the substrate for the
+// accelerated tree-update-template algorithms of Brown (PODC 2017).
+//
+// Real RTM offers opaque transactions that are strongly atomic with
+// respect to non-transactional code, and that abort with a reason code
+// (conflict, capacity, explicit xabort, or a spurious event such as an
+// interrupt). Go has no HTM intrinsics, so this package reproduces those
+// two semantic properties in software with a TL2-flavoured design:
+//
+//   - Shared memory is held in cells (Ref[T] for pointers, Word for
+//     uint64). Every access, transactional or not, goes through the cell
+//     API. Each cell pairs its value with a version word encoded as
+//     version<<1|lock.
+//   - A transaction snapshots the global version clock at begin (rv),
+//     buffers writes, and validates on every read that the cell version
+//     is unlocked and at most rv, which yields opacity (no zombie
+//     transactions).
+//   - Commit try-locks the write set (failure aborts with Conflict,
+//     mirroring HTM's abort-on-conflict rather than blocking), advances
+//     the clock, validates the read set (skipped when no other write
+//     happened since begin), applies the write set, and unlocks.
+//   - Non-transactional stores and CAS operations lock the cell, bump the
+//     global clock and the cell version, and unlock. Because they advance
+//     the same clock and versions the transactions validate against,
+//     transactions are strongly atomic with respect to them — the
+//     property the paper's fallback-path interaction relies on.
+//
+// Capacity aborts are modelled by configurable read/write set limits and
+// spurious aborts by a seeded per-access probability, so the execution
+// path policies built on top observe the same abort-reason signals they
+// would on hardware.
+//
+// A transaction is a single attempt, exactly like XBEGIN/XEND: retry
+// policy belongs to the caller. Transactions must not be nested.
+package htm
+
+import "sync"
+
+// Default capacity and tuning parameters. The Intel-like profile is sized
+// so that the paper's small range queries commit on the fast path while
+// large ones overflow to the fallback path (Section 7.1); the POWER8-like
+// profile reproduces the much smaller read footprint discussed in
+// Section 8 (a POWER8 transaction aborts after touching 64 cache lines).
+const (
+	// DefaultReadCapacity ~ a few hundred tree nodes: point operations
+	// (tens of cells) always fit, range queries over more than a few
+	// hundred keys overflow — matching the paper's observation that its
+	// [1,1000]-key BST range queries abort by capacity on Haswell.
+	DefaultReadCapacity  = 2048
+	DefaultWriteCapacity = 1024
+	DefaultLockSpin      = 64
+
+	power8ReadCapacity  = 512 // 64 lines x 8 words
+	power8WriteCapacity = 512
+)
+
+// Config controls the simulated HTM implementation.
+// The zero value selects the defaults (an Intel-like profile with
+// spurious aborts disabled).
+type Config struct {
+	// ReadCapacity is the maximum number of read-set entries before a
+	// transaction aborts with CauseCapacity.
+	ReadCapacity int
+	// WriteCapacity is the maximum number of write-set entries before a
+	// transaction aborts with CauseCapacity.
+	WriteCapacity int
+	// SpuriousEvery, when non-zero, injects a CauseSpurious abort with
+	// probability 1/SpuriousEvery at each transactional access. This
+	// models interrupts, page faults and other best-effort failures.
+	SpuriousEvery uint64
+	// LockSpin is how many times a transactional read spins on a locked
+	// cell (a commit in flight) before aborting with CauseConflict.
+	LockSpin int
+	// Seed seeds the deterministic per-thread PRNGs used for spurious
+	// aborts. Zero selects a fixed default seed.
+	Seed uint64
+}
+
+// withDefaults returns c with zero fields replaced by default values.
+func (c Config) withDefaults() Config {
+	if c.ReadCapacity == 0 {
+		c.ReadCapacity = DefaultReadCapacity
+	}
+	if c.WriteCapacity == 0 {
+		c.WriteCapacity = DefaultWriteCapacity
+	}
+	if c.LockSpin == 0 {
+		c.LockSpin = DefaultLockSpin
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9e3779b97f4a7c15
+	}
+	return c
+}
+
+// POWER8Config returns a configuration modelling IBM POWER8's much
+// smaller transactional footprint (Section 8 of the paper): transactions
+// abort after accessing 64 cache lines.
+func POWER8Config() Config {
+	return Config{
+		ReadCapacity:  power8ReadCapacity,
+		WriteCapacity: power8WriteCapacity,
+	}
+}
+
+// TM is an instance of the simulated transactional memory. It carries the
+// configuration and the registry of threads whose statistics it
+// aggregates. Cells are free-standing (their zero value is ready to use);
+// a TM is only needed to create threads.
+type TM struct {
+	cfg Config
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// New creates a transactional memory instance with the given
+// configuration. Zero fields of cfg select defaults.
+func New(cfg Config) *TM {
+	return &TM{cfg: cfg.withDefaults()}
+}
+
+// Config returns the (defaulted) configuration of the TM.
+func (tm *TM) Config() Config { return tm.cfg }
+
+// NewThread registers and returns a new thread context. Each Thread must
+// be used by a single goroutine at a time.
+func (tm *TM) NewThread() *Thread {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	th := &Thread{
+		tm:  tm,
+		id:  len(tm.threads),
+		rng: tm.cfg.Seed + uint64(len(tm.threads))*0xbf58476d1ce4e5b9 + 1,
+	}
+	th.tx.th = th
+	tm.threads = append(tm.threads, th)
+	return th
+}
+
+// Stats returns the sum of all registered threads' statistics. It is safe
+// to call while threads are running; the snapshot is approximate in that
+// case (counters are read without synchronization barriers between
+// threads), which is all the benchmark reporting needs.
+func (tm *TM) Stats() Stats {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	var s Stats
+	for _, th := range tm.threads {
+		s.add(&th.stats)
+	}
+	return s
+}

@@ -1,0 +1,413 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordNonTxBasics(t *testing.T) {
+	t.Parallel()
+	var w Word
+	if got := w.Get(nil); got != 0 {
+		t.Fatalf("zero value = %d, want 0", got)
+	}
+	w.Set(nil, 42)
+	if got := w.Get(nil); got != 42 {
+		t.Fatalf("after Set = %d, want 42", got)
+	}
+	if !w.CAS(nil, 42, 43) {
+		t.Fatal("CAS(42,43) failed")
+	}
+	if w.CAS(nil, 42, 99) {
+		t.Fatal("CAS with stale expected succeeded")
+	}
+	if got := w.Add(7); got != 50 {
+		t.Fatalf("Add = %d, want 50", got)
+	}
+	if got := w.Add(^uint64(0)); got != 49 { // -1 in two's complement
+		t.Fatalf("Add(-1) = %d, want 49", got)
+	}
+}
+
+func TestRefNonTxBasics(t *testing.T) {
+	t.Parallel()
+	type node struct{ k int }
+	var r Ref[node]
+	if got := r.Get(nil); got != nil {
+		t.Fatalf("zero value = %v, want nil", got)
+	}
+	a, b := &node{1}, &node{2}
+	r.Set(nil, a)
+	if got := r.Get(nil); got != a {
+		t.Fatalf("Get = %v, want %v", got, a)
+	}
+	if !r.CAS(nil, a, b) {
+		t.Fatal("CAS(a,b) failed")
+	}
+	if r.CAS(nil, a, b) {
+		t.Fatal("stale CAS succeeded")
+	}
+	r.Set(nil, nil)
+	if got := r.Get(nil); got != nil {
+		t.Fatalf("Get after Set(nil) = %v, want nil", got)
+	}
+}
+
+func TestTxCommitAndVisibility(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	var x, y Word
+	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
+		x.Set(tx, 1)
+		y.Set(tx, 2)
+		if got := x.Get(tx); got != 1 {
+			t.Errorf("read-own-write x = %d, want 1", got)
+		}
+	})
+	if !ok {
+		t.Fatalf("commit failed: %+v", ab)
+	}
+	if x.Get(nil) != 1 || y.Get(nil) != 2 {
+		t.Fatalf("post-commit values = %d,%d want 1,2", x.Get(nil), y.Get(nil))
+	}
+}
+
+func TestTxExplicitAbortHasNoEffect(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	var x Word
+	x.Set(nil, 10)
+	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
+		x.Set(tx, 99)
+		tx.Abort(7)
+	})
+	if ok {
+		t.Fatal("aborted transaction reported commit")
+	}
+	if ab.Cause != CauseExplicit || ab.Code != 7 {
+		t.Fatalf("abort = %+v, want explicit code 7", ab)
+	}
+	if got := x.Get(nil); got != 10 {
+		t.Fatalf("x = %d after abort, want 10", got)
+	}
+}
+
+func TestTxConflictWithNonTxWrite(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	var x, y Word
+	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
+		_ = x.Get(tx)
+		// A non-transactional write from "another thread" (simulated
+		// inline; the cell API does not care which goroutine writes).
+		x.Set(nil, 5)
+		y.Set(tx, 1)
+	})
+	if ok {
+		t.Fatal("transaction with invalidated read set committed")
+	}
+	if ab.Cause != CauseConflict {
+		t.Fatalf("cause = %v, want conflict", ab.Cause)
+	}
+	if y.Get(nil) != 0 {
+		t.Fatal("aborted write became visible")
+	}
+}
+
+func TestTxOpacitySnapshotRead(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	var x Word
+	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
+		x.Set(nil, 1) // bump the cell version past rv
+		_ = x.Get(tx) // must abort: written after begin
+		t.Error("read of post-begin write did not abort")
+	})
+	if ok || ab.Cause != CauseConflict {
+		t.Fatalf("ok=%v abort=%+v, want conflict abort", ok, ab)
+	}
+}
+
+func TestTxCapacityAbort(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{ReadCapacity: 4, WriteCapacity: 4})
+	th := tm.NewThread()
+	cells := make([]Word, 8)
+
+	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
+		for i := range cells {
+			_ = cells[i].Get(tx)
+		}
+	})
+	if ok || ab.Cause != CauseCapacity {
+		t.Fatalf("read overflow: ok=%v abort=%+v, want capacity", ok, ab)
+	}
+
+	ok, ab = th.Atomic(PathFast, func(tx *Tx) {
+		for i := range cells {
+			cells[i].Set(tx, 1)
+		}
+	})
+	if ok || ab.Cause != CauseCapacity {
+		t.Fatalf("write overflow: ok=%v abort=%+v, want capacity", ok, ab)
+	}
+}
+
+func TestTxSpuriousAbort(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{SpuriousEvery: 1}) // every access aborts
+	th := tm.NewThread()
+	var x Word
+	ok, ab := th.Atomic(PathFast, func(tx *Tx) { _ = x.Get(tx) })
+	if ok || ab.Cause != CauseSpurious {
+		t.Fatalf("ok=%v abort=%+v, want spurious", ok, ab)
+	}
+}
+
+func TestNestedAtomicPanics(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Atomic did not panic")
+		}
+	}()
+	th.Atomic(PathFast, func(*Tx) {
+		th.Atomic(PathFast, func(*Tx) {})
+	})
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+		// The thread must be reusable after a user panic.
+		if ok, _ := th.Atomic(PathFast, func(*Tx) {}); !ok {
+			t.Fatal("thread unusable after user panic")
+		}
+	}()
+	th.Atomic(PathFast, func(*Tx) { panic("boom") })
+}
+
+func TestStatsCounting(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	var x Word
+	th.Atomic(PathFast, func(tx *Tx) { x.Set(tx, 1) })
+	th.Atomic(PathMiddle, func(tx *Tx) { tx.Abort(1) })
+	s := tm.Stats()
+	if s.Commits[PathFast] != 1 {
+		t.Fatalf("fast commits = %d, want 1", s.Commits[PathFast])
+	}
+	if s.Aborts[PathMiddle][CauseExplicit] != 1 {
+		t.Fatalf("middle explicit aborts = %d, want 1", s.Aborts[PathMiddle][CauseExplicit])
+	}
+	if s.TotalAborts(PathMiddle) != 1 {
+		t.Fatalf("TotalAborts = %d, want 1", s.TotalAborts(PathMiddle))
+	}
+}
+
+// TestConcurrentCounter increments a shared counter from many goroutines
+// using transactions (retrying on abort) and checks no increment is lost.
+func TestConcurrentCounter(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	const goroutines = 8
+	const perG = 2000
+	var c Word
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := tm.NewThread()
+			for i := 0; i < perG; i++ {
+				for {
+					ok, _ := th.Atomic(PathFast, func(tx *Tx) {
+						c.Set(tx, c.Get(tx)+1)
+					})
+					if ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(nil); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestStrongAtomicity checks that non-transactional readers never observe
+// a torn multi-cell commit: transactions keep x == y, and a racing
+// non-transactional reader that snapshots both must agree.
+func TestStrongAtomicity(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	var x, y Word
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := tm.NewThread()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Atomic(PathFast, func(tx *Tx) {
+					v := x.Get(tx) + 1
+					x.Set(tx, v)
+					y.Set(tx, v)
+				})
+			}
+		}(uint64(g))
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200000; i++ {
+			// Reading y first then x bounds x's value from below by y's:
+			// with atomic commits, xv >= yv always holds.
+			yv := y.Get(nil)
+			xv := x.Get(nil)
+			if xv < yv {
+				t.Errorf("torn read: x=%d < y=%d", xv, yv)
+				break
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}
+
+// TestTornCommitInvisible checks a transactional reader sees the two
+// halves of a committed pair consistently.
+func TestTornCommitInvisible(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	var x, y Word
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := tm.NewThread()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			th.Atomic(PathFast, func(tx *Tx) {
+				v := x.Get(tx) + 1
+				x.Set(tx, v)
+				y.Set(tx, v)
+			})
+		}
+	}()
+
+	th := tm.NewThread()
+	for i := 0; i < 100000; i++ {
+		th.Atomic(PathMiddle, func(tx *Tx) {
+			xv := x.Get(tx)
+			yv := y.Get(tx)
+			if xv != yv {
+				t.Errorf("inconsistent snapshot: x=%d y=%d", xv, yv)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestQuickSequentialModel cross-checks single-threaded transactional
+// execution against a plain model: any committed sequence of ops must
+// leave cells equal to the model.
+func TestQuickSequentialModel(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	f := func(ops []uint16) bool {
+		const n = 8
+		var cells [n]Word
+		var model [n]uint64
+		for _, op := range ops {
+			idx := int(op) % n
+			val := uint64(op >> 4)
+			switch (op >> 2) % 3 {
+			case 0:
+				cells[idx].Set(nil, val)
+				model[idx] = val
+			case 1:
+				ok, _ := th.Atomic(PathFast, func(tx *Tx) {
+					cells[idx].Set(tx, cells[idx].Get(tx)+val)
+				})
+				if !ok {
+					return false
+				}
+				model[idx] += val
+			case 2:
+				if cells[idx].Get(nil) != model[idx] {
+					return false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if cells[i].Get(nil) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPOWER8ConfigSmallFootprint(t *testing.T) {
+	t.Parallel()
+	cfg := POWER8Config().withDefaults()
+	if cfg.ReadCapacity >= DefaultReadCapacity {
+		t.Fatalf("POWER8 read capacity %d not smaller than default %d",
+			cfg.ReadCapacity, DefaultReadCapacity)
+	}
+}
+
+func TestPathAndCauseStrings(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{PathFast.String(), "fast"},
+		{PathMiddle.String(), "middle"},
+		{PathFallback.String(), "fallback"},
+		{CauseExplicit.String(), "explicit"},
+		{CauseConflict.String(), "conflict"},
+		{CauseCapacity.String(), "capacity"},
+		{CauseSpurious.String(), "spurious"},
+		{CauseNone.String(), "none"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}

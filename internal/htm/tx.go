@@ -1,0 +1,350 @@
+package htm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PathKind identifies the execution path a transaction (or operation) ran
+// on, for statistics. It mirrors the three-path vocabulary of the paper.
+type PathKind uint8
+
+// Execution paths.
+const (
+	PathFast PathKind = iota + 1
+	PathMiddle
+	PathFallback
+
+	numPaths = 4 // index space: 0 unused so the constants start at one
+)
+
+// String returns the paper's name for the path.
+func (p PathKind) String() string {
+	switch p {
+	case PathFast:
+		return "fast"
+	case PathMiddle:
+		return "middle"
+	case PathFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("path(%d)", uint8(p))
+	}
+}
+
+// AbortCause classifies why a transaction aborted, mirroring the RTM
+// status word.
+type AbortCause uint8
+
+// Abort causes.
+const (
+	CauseNone     AbortCause = iota // committed
+	CauseExplicit                   // Tx.Abort was invoked (xabort)
+	CauseConflict                   // read/write conflict with another thread
+	CauseCapacity                   // read or write set exceeded capacity
+	CauseSpurious                   // injected best-effort failure
+
+	numCauses = 5
+)
+
+// String returns a short name for the cause.
+func (c AbortCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseExplicit:
+		return "explicit"
+	case CauseConflict:
+		return "conflict"
+	case CauseCapacity:
+		return "capacity"
+	case CauseSpurious:
+		return "spurious"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Abort describes the outcome of an aborted transaction: the cause, plus
+// the user code passed to Tx.Abort for explicit aborts (like the xabort
+// immediate on Intel hardware).
+type Abort struct {
+	Cause AbortCause
+	Code  uint8
+}
+
+// Stats counts transaction outcomes per execution path.
+type Stats struct {
+	Commits [numPaths]uint64
+	Aborts  [numPaths][numCauses]uint64
+}
+
+func (s *Stats) add(o *Stats) {
+	for p := 0; p < numPaths; p++ {
+		s.Commits[p] += atomic.LoadUint64(&o.Commits[p])
+		for c := 0; c < numCauses; c++ {
+			s.Aborts[p][c] += atomic.LoadUint64(&o.Aborts[p][c])
+		}
+	}
+}
+
+// TotalAborts returns the number of aborts on path p across all causes.
+func (s *Stats) TotalAborts(p PathKind) uint64 {
+	var n uint64
+	for c := 0; c < numCauses; c++ {
+		n += s.Aborts[p][c]
+	}
+	return n
+}
+
+// Thread is a per-goroutine transactional context. A Thread must not be
+// shared between goroutines concurrently.
+type Thread struct {
+	tm    *TM
+	id    int
+	rng   uint64
+	tx    Tx
+	inTx  bool
+	stats Stats
+}
+
+// ID returns the thread's registration index within its TM.
+func (th *Thread) ID() int { return th.id }
+
+// Stats returns a snapshot of this thread's transaction statistics.
+func (th *Thread) Stats() Stats { return th.stats }
+
+// next returns the next value of the thread's splitmix64 PRNG.
+func (th *Thread) next() uint64 {
+	th.rng += 0x9e3779b97f4a7c15
+	z := th.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// txAbort is the panic payload used to unwind an aborting transaction.
+// It never escapes Thread.Atomic.
+type txAbort struct {
+	cause AbortCause
+	code  uint8
+}
+
+type readEntry struct {
+	ver  *atomic.Uint64
+	seen uint64
+}
+
+type writeEntry struct {
+	c       cell
+	word    uint64
+	ptr     any
+	isPtr   bool
+	prevVer uint64
+}
+
+// Tx is a single transaction attempt. It is only valid inside the
+// function passed to Thread.Atomic and must not be retained.
+type Tx struct {
+	th     *Thread
+	rv     uint64
+	reads  []readEntry
+	writes []writeEntry
+	path   PathKind
+}
+
+// Path returns the execution path label this transaction was started
+// under.
+func (tx *Tx) Path() PathKind { return tx.path }
+
+func (tx *Tx) reset(path PathKind) {
+	tx.rv = clock.Load()
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.path = path
+}
+
+// Abort explicitly aborts the transaction with a user code, like the
+// xabort instruction. It does not return.
+func (tx *Tx) Abort(code uint8) {
+	panic(txAbort{cause: CauseExplicit, code: code})
+}
+
+// abort aborts the transaction for an internal reason. It does not
+// return.
+func (tx *Tx) abort(cause AbortCause) {
+	panic(txAbort{cause: cause})
+}
+
+// maybeSpurious injects a spurious abort with the configured probability.
+func (tx *Tx) maybeSpurious() {
+	every := tx.th.tm.cfg.SpuriousEvery
+	if every != 0 && tx.th.next()%every == 0 {
+		tx.abort(CauseSpurious)
+	}
+}
+
+// readVersion loads a cell version for a transactional read, spinning
+// briefly on locked cells (a commit in flight) and aborting on conflict
+// or snapshot violation.
+func (tx *Tx) readVersion(ver *atomic.Uint64) uint64 {
+	spin := tx.th.tm.cfg.LockSpin
+	for i := 0; ; i++ {
+		v := ver.Load()
+		if v&lockBit == 0 {
+			if v>>1 > tx.rv {
+				// Written after this transaction began: the snapshot
+				// cannot be extended, so this is a data conflict.
+				tx.abort(CauseConflict)
+			}
+			return v
+		}
+		if i >= spin {
+			tx.abort(CauseConflict)
+		}
+	}
+}
+
+func (tx *Tx) logRead(ver *atomic.Uint64, seen uint64) {
+	tx.maybeSpurious()
+	if len(tx.reads) >= tx.th.tm.cfg.ReadCapacity {
+		tx.abort(CauseCapacity)
+	}
+	tx.reads = append(tx.reads, readEntry{ver: ver, seen: seen})
+}
+
+func (tx *Tx) logWrite(c cell, word uint64, ptr any, isPtr bool) {
+	tx.maybeSpurious()
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].c == c {
+			tx.writes[i].word = word
+			tx.writes[i].ptr = ptr
+			return
+		}
+	}
+	if len(tx.writes) >= tx.th.tm.cfg.WriteCapacity {
+		tx.abort(CauseCapacity)
+	}
+	tx.writes = append(tx.writes, writeEntry{c: c, word: word, ptr: ptr, isPtr: isPtr})
+}
+
+// findWrite reports whether c is in the write set and returns its entry.
+func (tx *Tx) findWrite(c cell) (*writeEntry, bool) {
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].c == c {
+			return &tx.writes[i], true
+		}
+	}
+	return nil, false
+}
+
+// ownsLock reports whether ver is the version word of a cell in the
+// write set (and therefore locked by this transaction during commit).
+func (tx *Tx) ownsLock(ver *atomic.Uint64) bool {
+	for i := range tx.writes {
+		if tx.writes[i].c.version() == ver {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocks unlocks the first n write-set cells, restoring their
+// pre-lock versions.
+func (tx *Tx) releaseLocks(n int) {
+	for i := 0; i < n; i++ {
+		w := &tx.writes[i]
+		w.c.version().Store(w.prevVer)
+	}
+}
+
+// commit attempts to commit the transaction, returning CauseNone on
+// success.
+func (tx *Tx) commit() AbortCause {
+	if len(tx.writes) == 0 {
+		// Read-only transactions are consistent at rv by construction.
+		return CauseNone
+	}
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		ver := w.c.version()
+		v := ver.Load()
+		if v&lockBit != 0 || !ver.CompareAndSwap(v, v|lockBit) {
+			// Abort rather than wait: this is how HTM resolves
+			// write-write contention.
+			tx.releaseLocks(i)
+			return CauseConflict
+		}
+		w.prevVer = v
+	}
+	wv := clock.Add(1)
+	if wv != tx.rv+1 {
+		// Some other write (transactional or not) happened since begin:
+		// the read set must be validated.
+		for i := range tx.reads {
+			rd := &tx.reads[i]
+			v := rd.ver.Load()
+			if v == rd.seen {
+				continue
+			}
+			if v == rd.seen|lockBit && tx.ownsLock(rd.ver) {
+				continue
+			}
+			tx.releaseLocks(len(tx.writes))
+			return CauseConflict
+		}
+	}
+	nv := wv << 1
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		if w.isPtr {
+			w.c.applyPtr(w.ptr)
+		} else {
+			w.c.applyWord(w.word)
+		}
+		w.c.version().Store(nv)
+	}
+	return CauseNone
+}
+
+// Atomic runs fn as a single transaction attempt on the given path and
+// reports whether it committed, together with the abort details
+// otherwise. Like hardware transactions, an attempt that aborts has no
+// effect on shared memory; unlike hardware, fn is re-entered from the top
+// only if the caller retries.
+//
+// fn must not start nested transactions, perform non-transactional cell
+// operations, or retain tx. Panics other than transaction aborts
+// propagate to the caller.
+func (th *Thread) Atomic(path PathKind, fn func(tx *Tx)) (bool, Abort) {
+	if th.inTx {
+		panic("htm: nested transaction")
+	}
+	th.inTx = true
+	tx := &th.tx
+	tx.reset(path)
+	cause, code := th.runTx(tx, fn)
+	th.inTx = false
+	if cause == CauseNone {
+		atomic.AddUint64(&th.stats.Commits[path], 1)
+		return true, Abort{}
+	}
+	atomic.AddUint64(&th.stats.Aborts[path][cause], 1)
+	return false, Abort{Cause: cause, Code: code}
+}
+
+// runTx executes fn and commit, translating abort panics into a cause.
+func (th *Thread) runTx(tx *Tx, fn func(tx *Tx)) (cause AbortCause, code uint8) {
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(txAbort)
+			if !ok {
+				th.inTx = false
+				panic(r)
+			}
+			cause, code = a.cause, a.code
+		}
+	}()
+	fn(tx)
+	return tx.commit(), 0
+}

@@ -1,0 +1,75 @@
+// Package rcu provides userspace read-copy-update primitives (Desnoyers
+// et al., IEEE TPDS 2012): read-side critical sections that cost two
+// atomic stores, and a Synchronize (the paper's rcu_wait) that blocks
+// until every read-side critical section that started before it has
+// ended. Section 10.1 of Brown's paper uses these primitives in the
+// CITRUS search tree and then shows how the 3-path template removes the
+// Synchronize from the HTM paths.
+package rcu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RCU is a reader-registry domain. Create with New.
+type RCU struct {
+	global atomic.Uint64
+
+	mu      sync.Mutex
+	readers []*Reader
+}
+
+// New creates an RCU domain.
+func New() *RCU {
+	r := &RCU{}
+	r.global.Store(2)
+	return r
+}
+
+// Reader is a per-goroutine read-side handle.
+type Reader struct {
+	slot atomic.Uint64
+	r    *RCU
+}
+
+// NewReader registers a reader.
+func (r *RCU) NewReader() *Reader {
+	rd := &Reader{r: r}
+	r.mu.Lock()
+	r.readers = append(r.readers, rd)
+	r.mu.Unlock()
+	return rd
+}
+
+// Lock enters a read-side critical section (the paper's rcu_begin).
+// Critical sections must not nest.
+func (rd *Reader) Lock() {
+	rd.slot.Store(rd.r.global.Load() | 1)
+}
+
+// Unlock leaves the read-side critical section (rcu_end).
+func (rd *Reader) Unlock() {
+	rd.slot.Store(0)
+}
+
+// Synchronize blocks until every read-side critical section that
+// started before the call has ended (rcu_wait).
+func (r *RCU) Synchronize() {
+	g := r.global.Add(2)
+	r.mu.Lock()
+	readers := r.readers
+	r.mu.Unlock()
+	for _, rd := range readers {
+		for i := 0; ; i++ {
+			v := rd.slot.Load()
+			if v == 0 || v >= g {
+				break
+			}
+			if i%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSynchronizeWaitsForActiveReader(t *testing.T) {
+	t.Parallel()
+	r := New()
+	rd := r.NewReader()
+	rd.Lock()
+
+	done := make(chan struct{})
+	go func() {
+		r.Synchronize()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while a pre-existing reader was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rd.Unlock()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Synchronize did not return after the reader left")
+	}
+}
+
+func TestSynchronizeIgnoresLaterReaders(t *testing.T) {
+	t.Parallel()
+	r := New()
+	rd := r.NewReader()
+	// A reader that starts after Synchronize begins must not be waited
+	// for. We emulate the ordering by locking after the grace period
+	// number is taken: Synchronize runs concurrently, the reader enters
+	// "late", and Synchronize must still terminate.
+	var entered sync.WaitGroup
+	entered.Add(1)
+	go func() {
+		entered.Done()
+		// Late reader, repeatedly entering and leaving.
+		for i := 0; i < 100; i++ {
+			rd.Lock()
+			rd.Unlock()
+		}
+	}()
+	entered.Wait()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			r.Synchronize()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize livelocked against later readers")
+	}
+}
+
+// TestGracePeriodProtectsReclamation models the canonical RCU use:
+// unlink, synchronize, free. Readers must never observe a freed cell.
+func TestGracePeriodProtectsReclamation(t *testing.T) {
+	t.Parallel()
+	type cell struct {
+		freed atomic.Bool
+	}
+	r := New()
+	var ptr atomic.Pointer[cell]
+	ptr.Store(&cell{})
+
+	var violations atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rd := r.NewReader()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rd.Lock()
+				c := ptr.Load()
+				if c.freed.Load() {
+					violations.Add(1)
+				}
+				rd.Unlock()
+			}
+		}()
+	}
+
+	for i := 0; i < 300; i++ {
+		old := ptr.Load()
+		ptr.Store(&cell{})
+		r.Synchronize()
+		old.freed.Store(true) // "free" the old cell
+	}
+	close(stop)
+	wg.Wait()
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d readers observed a freed cell", n)
+	}
+}

@@ -1,0 +1,187 @@
+// Package snzi implements a scalable non-zero indicator (Ellen, Lev,
+// Luchangco and Moir, "SNZI: Scalable NonZero Indicators", PODC 2007).
+//
+// Brown's paper (Section 5) suggests an SNZI as a drop-in replacement
+// for the global fetch-and-increment object F that counts operations on
+// the fallback path: fast-path transactions subscribe only to the
+// indicator bit, which changes exactly on 0↔nonzero transitions, so a
+// second, third, ... operation arriving on the fallback path does not
+// abort fast-path transactions the way a shared counter would.
+//
+// The implementation is the two-level SNZI tree from the paper: leaf
+// nodes absorb arrivals and departures and propagate only their own
+// 0↔nonzero transitions to the root, whose separate indicator word I is
+// what queries (and hardware transactions) read.
+package snzi
+
+import (
+	"sync/atomic"
+
+	"htmtree/internal/htm"
+)
+
+// defaultLeaves is the fan-out of the two-level SNZI tree.
+const defaultLeaves = 8
+
+// SNZI is a scalable non-zero indicator. Create one with New.
+type SNZI struct {
+	root   root
+	leaves []leaf
+	next   atomic.Uint64 // round-robin leaf assignment
+}
+
+// New creates an SNZI with the default fan-out.
+func New() *SNZI {
+	s := &SNZI{leaves: make([]leaf, defaultLeaves)}
+	for i := range s.leaves {
+		s.leaves[i].parent = &s.root
+	}
+	return s
+}
+
+// Ticket identifies an arrival so the matching departure hits the same
+// leaf.
+type Ticket struct {
+	l *leaf
+}
+
+// Arrive announces presence and returns the ticket to depart with.
+func (s *SNZI) Arrive() Ticket {
+	l := &s.leaves[s.next.Add(1)%uint64(len(s.leaves))]
+	l.arrive()
+	return Ticket{l: l}
+}
+
+// Depart retracts the arrival identified by t.
+func (s *SNZI) Depart(t Ticket) {
+	t.l.depart()
+}
+
+// Nonzero reports whether there are more arrivals than departures. A
+// transactional read subscribes the caller to the indicator word only,
+// which changes exactly on 0↔nonzero transitions.
+func (s *SNZI) Nonzero(tx *htm.Tx) bool {
+	return s.root.i.Get(tx) != 0
+}
+
+// leaf state packing: halves<<32 | version. "halves" counts arrivals in
+// units of one half, so 1 represents the paper's intermediate value ½.
+func packLeaf(halves, ver uint32) uint64 { return uint64(halves)<<32 | uint64(ver) }
+func unpackLeaf(x uint64) (halves, ver uint32) {
+	return uint32(x >> 32), uint32(x)
+}
+
+type leaf struct {
+	x      htm.Word
+	parent *root
+}
+
+// arrive implements the SNZI-node Arrive of the paper (Figure 3),
+// with counts in halves.
+func (l *leaf) arrive() {
+	succ := false
+	undo := 0
+	for !succ {
+		x := l.x.Get(nil)
+		c, v := unpackLeaf(x)
+		switch {
+		case c >= 2: // at least one full arrival present
+			if l.x.CAS(nil, x, packLeaf(c+2, v)) {
+				succ = true
+			}
+		case c == 0:
+			if l.x.CAS(nil, x, packLeaf(1, v+1)) { // write the intermediate ½
+				succ = true
+				x = packLeaf(1, v+1)
+				c, v = 1, v+1
+			}
+		}
+		if c == 1 { // intermediate value: propagate to the root, then fix up
+			l.parent.arrive()
+			if !l.x.CAS(nil, x, packLeaf(2, v)) {
+				undo++
+			}
+		}
+	}
+	for ; undo > 0; undo-- {
+		l.parent.depart()
+	}
+}
+
+func (l *leaf) depart() {
+	for {
+		x := l.x.Get(nil)
+		c, v := unpackLeaf(x)
+		if l.x.CAS(nil, x, packLeaf(c-2, v)) {
+			if c == 2 { // this leaf became zero
+				l.parent.depart()
+			}
+			return
+		}
+	}
+}
+
+// root state packing: count<<32 | announce<<31 | version (31 bits).
+func packRoot(c uint32, a bool, v uint32) uint64 {
+	x := uint64(c)<<32 | uint64(v&0x7fffffff)
+	if a {
+		x |= 1 << 31
+	}
+	return x
+}
+func unpackRoot(x uint64) (c uint32, a bool, v uint32) {
+	return uint32(x >> 32), x&(1<<31) != 0, uint32(x) & 0x7fffffff
+}
+
+type root struct {
+	x htm.Word // (count, announce, version)
+	i htm.Word // the indicator word transactions subscribe to
+}
+
+// arrive implements the SNZI-root Arrive of the paper (Figure 4).
+func (r *root) arrive() {
+	var nc uint32
+	var na bool
+	var nv uint32
+	for {
+		x := r.x.Get(nil)
+		c, a, v := unpackRoot(x)
+		if c == 0 {
+			nc, na, nv = 1, true, v+1
+		} else {
+			nc, na, nv = c+1, a, v
+		}
+		if r.x.CAS(nil, x, packRoot(nc, na, nv)) {
+			break
+		}
+	}
+	if na {
+		r.i.Set(nil, 1)
+		r.x.CAS(nil, packRoot(nc, true, nv), packRoot(nc, false, nv))
+	}
+}
+
+// depart implements the SNZI-root Depart of the paper (Figure 4).
+func (r *root) depart() {
+	for {
+		x := r.x.Get(nil)
+		c, _, v := unpackRoot(x)
+		if !r.x.CAS(nil, x, packRoot(c-1, false, v)) {
+			continue
+		}
+		if c >= 2 {
+			return
+		}
+		for {
+			y := r.x.Get(nil)
+			yc, ya, yv := unpackRoot(y)
+			if yv != v {
+				return // someone arrived meanwhile; they own the indicator
+			}
+			r.i.Set(nil, 0)
+			if r.x.CAS(nil, y, packRoot(yc, ya, yv+1)) {
+				return
+			}
+		}
+	}
+}

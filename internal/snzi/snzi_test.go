@@ -1,0 +1,127 @@
+package snzi
+
+import (
+	"sync"
+	"testing"
+
+	"htmtree/internal/htm"
+)
+
+func TestBasicTransitions(t *testing.T) {
+	t.Parallel()
+	s := New()
+	if s.Nonzero(nil) {
+		t.Fatal("fresh SNZI reports nonzero")
+	}
+	t1 := s.Arrive()
+	if !s.Nonzero(nil) {
+		t.Fatal("nonzero not reported after arrive")
+	}
+	t2 := s.Arrive()
+	s.Depart(t1)
+	if !s.Nonzero(nil) {
+		t.Fatal("nonzero dropped while one arrival remains")
+	}
+	s.Depart(t2)
+	if s.Nonzero(nil) {
+		t.Fatal("nonzero reported after all departures")
+	}
+}
+
+func TestPhasedConcurrency(t *testing.T) {
+	t.Parallel()
+	s := New()
+	const n = 16
+	tickets := make([]Ticket, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); tickets[i] = s.Arrive() }(i)
+	}
+	wg.Wait()
+	if !s.Nonzero(nil) {
+		t.Fatal("nonzero false with 16 arrivals present")
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); s.Depart(tickets[i]) }(i)
+	}
+	wg.Wait()
+	if s.Nonzero(nil) {
+		t.Fatal("nonzero true after all departed")
+	}
+}
+
+func TestRandomStressEndsZero(t *testing.T) {
+	t.Parallel()
+	s := New()
+	const goroutines = 8
+	const pairs = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var held []Ticket
+			for i := 0; i < pairs; i++ {
+				held = append(held, s.Arrive())
+				if i%3 != 0 { // keep some arrivals outstanding for a while
+					s.Depart(held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+			}
+			for _, tk := range held {
+				s.Depart(tk)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Nonzero(nil) {
+		t.Fatal("nonzero after balanced arrivals/departures")
+	}
+}
+
+// TestIndicatorStableWhileNonzero is the scalability property the paper
+// wants from an SNZI: while the count stays above zero, additional
+// arrivals and departures do not touch the indicator word. We verify it
+// behaviourally: a transaction that read the indicator still commits
+// after heavy churn, which would be impossible had the indicator word
+// been written.
+func TestIndicatorStableWhileNonzero(t *testing.T) {
+	t.Parallel()
+	tm := htm.New(htm.Config{})
+	th := tm.NewThread()
+	s := New()
+
+	base := s.Arrive() // keep the count above zero throughout
+
+	ok, ab := th.Atomic(htm.PathFast, func(tx *htm.Tx) {
+		if !s.Nonzero(tx) {
+			t.Error("Nonzero false while an arrival is present")
+		}
+		// Churn: many arrive/depart pairs while the transaction holds
+		// its read subscription on the indicator word.
+		for i := 0; i < 64; i++ {
+			s.Depart(s.Arrive())
+		}
+	})
+	if !ok {
+		t.Fatalf("transaction aborted (%+v): churn touched the indicator word", ab)
+	}
+	s.Depart(base)
+
+	// And the inverse: a 0↔nonzero transition must abort a writing
+	// subscriber at commit. (A read-only transaction may still commit —
+	// it legitimately serializes at its begin snapshot.)
+	var w htm.Word
+	ok, _ = th.Atomic(htm.PathFast, func(tx *htm.Tx) {
+		if s.Nonzero(tx) {
+			t.Error("Nonzero true with no arrivals")
+		}
+		w.Set(tx, 1)
+		s.Depart(s.Arrive()) // 0 -> 1 -> 0 transition
+	})
+	if ok {
+		t.Fatal("writing transaction survived a 0<->nonzero indicator transition")
+	}
+}

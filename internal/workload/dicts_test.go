@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"htmtree/internal/abtree"
+	"htmtree/internal/bst"
+	"htmtree/internal/citrus"
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+	"htmtree/internal/hybridnorec"
+	"htmtree/internal/kcas"
+)
+
+// everyDict enumerates one instance of every dictionary in the
+// repository under its default (3-path where applicable) configuration.
+func everyDict() map[string]dict.Dict {
+	return map[string]dict.Dict{
+		"bst":          bst.New(bst.Config{Algorithm: engine.AlgThreePath}),
+		"abtree":       abtree.New(abtree.Config{Algorithm: engine.AlgThreePath}),
+		"citrus":       citrus.New(citrus.Config{Algorithm: engine.AlgThreePath}),
+		"kcas-list":    kcas.NewList(kcas.ListConfig{Algorithm: engine.AlgThreePath}),
+		"hybrid-norec": hybridnorec.NewBST(htm.Config{}, 0),
+	}
+}
+
+// TestDictContractSequential runs one randomized operation stream
+// against every dictionary and a map oracle: all implementations must
+// agree on every return value.
+func TestDictContractSequential(t *testing.T) {
+	t.Parallel()
+	for name, d := range everyDict() {
+		name, d := name, d
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			h := d.NewHandle()
+			oracle := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(77))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(128)) + 1
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := rng.Uint64() >> 1
+					old, existed := h.Insert(k, v)
+					wantOld, wantEx := oracle[k], false
+					if _, ok := oracle[k]; ok {
+						wantEx = true
+					}
+					if existed != wantEx || (existed && old != wantOld) {
+						t.Fatalf("op %d Insert(%d): (%d,%v) want (%d,%v)",
+							i, k, old, existed, wantOld, wantEx)
+					}
+					oracle[k] = v
+				case 2:
+					old, existed := h.Delete(k)
+					wantOld, wantEx := oracle[k], false
+					if _, ok := oracle[k]; ok {
+						wantEx = true
+					}
+					if existed != wantEx || (existed && old != wantOld) {
+						t.Fatalf("op %d Delete(%d): (%d,%v) want (%d,%v)",
+							i, k, old, existed, wantOld, wantEx)
+					}
+					delete(oracle, k)
+				case 3:
+					got, found := h.Search(k)
+					want, ok := oracle[k]
+					if found != ok || (found && got != want) {
+						t.Fatalf("op %d Search(%d): (%d,%v) want (%d,%v)",
+							i, k, got, found, want, ok)
+					}
+				}
+			}
+			// Final state: KeySum and a full range query must agree
+			// with the oracle.
+			var wantSum, wantCount uint64
+			for k := range oracle {
+				wantSum += k
+				wantCount++
+			}
+			sum, count := d.KeySum()
+			if sum != wantSum || count != wantCount {
+				t.Fatalf("KeySum (%d,%d), oracle (%d,%d)", sum, count, wantSum, wantCount)
+			}
+			out := h.RangeQuery(1, 200, nil)
+			if uint64(len(out)) != wantCount {
+				t.Fatalf("full RQ: %d pairs, oracle %d", len(out), wantCount)
+			}
+			for i, kv := range out {
+				if i > 0 && out[i-1].Key >= kv.Key {
+					t.Fatal("RQ unsorted")
+				}
+				if want := oracle[kv.Key]; want != kv.Val {
+					t.Fatalf("RQ pair (%d,%d) disagrees with oracle %d", kv.Key, kv.Val, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDictContractConcurrentKeySum applies the paper's key-sum
+// methodology uniformly to every dictionary.
+func TestDictContractConcurrentKeySum(t *testing.T) {
+	t.Parallel()
+	for name, d := range everyDict() {
+		name, d := name, d
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const goroutines = 4
+			const perG = 1500
+			sums := make([]int64, goroutines)
+			counts := make([]int64, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					h := d.NewHandle()
+					rng := rand.New(rand.NewSource(int64(g)*13 + 7))
+					for i := 0; i < perG; i++ {
+						k := uint64(rng.Intn(96)) + 1
+						if rng.Intn(2) == 0 {
+							if _, existed := h.Insert(k, k); !existed {
+								sums[g] += int64(k)
+								counts[g]++
+							}
+						} else {
+							if _, existed := h.Delete(k); existed {
+								sums[g] -= int64(k)
+								counts[g]--
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			var wantSum, wantCount int64
+			for g := range sums {
+				wantSum += sums[g]
+				wantCount += counts[g]
+			}
+			sum, count := d.KeySum()
+			if int64(sum) != wantSum || int64(count) != wantCount {
+				t.Fatalf("%s key-sum: (%d,%d), threads (%d,%d)",
+					name, sum, count, wantSum, wantCount)
+			}
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Package xrand provides the deterministic splitmix64 PRNG used by the
+// benchmark harness: fast, seedable per thread, and with no shared
+// state, so throughput measurements do not contend on a random source.
+package xrand
+
+// State is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New for distinct streams.
+type State struct {
+	x uint64
+}
+
+// New returns a generator seeded for stream i of seed.
+func New(seed, i uint64) *State {
+	return &State{x: seed + i*0x9e3779b97f4a7c15}
+}
+
+// Next returns the next pseudo-random value.
+func (s *State) Next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a value in [0, n). n must be positive.
+func (s *State) Uint64n(n uint64) uint64 {
+	return s.Next() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (s *State) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
