@@ -235,6 +235,35 @@ func BenchmarkSec10KCASList(b *testing.B) {
 	}
 }
 
+// ---- Shard scaling (beyond the paper): the key space partitioned
+// across independent trees, each with its own engine, HTM context, and
+// fallback indicator. Compare x1/x4/x16 within a structure; cmd/htmbench
+// -experiment shardscale runs the full sweep. ----
+
+func benchShardScaling(b *testing.B, structure string, keyRange, rqMax uint64) {
+	b.Helper()
+	for _, shards := range []int{1, 4, 16} {
+		spec := workload.Spec{
+			Structure: structure,
+			Algorithm: engine.AlgThreePath,
+			Shards:    shards,
+			KeySpan:   keyRange,
+		}
+		b.Run(spec.Name(), func(b *testing.B) {
+			runTrialBench(b, spec.New,
+				workload.Config{KeyRange: keyRange, RQSizeMax: rqMax, Kind: workload.Heavy})
+		})
+	}
+}
+
+func BenchmarkShardScalingBST(b *testing.B) {
+	benchShardScaling(b, "bst", bstKeys, 1000)
+}
+
+func BenchmarkShardScalingABTree(b *testing.B) {
+	benchShardScaling(b, "abtree", abKeys, 10000)
+}
+
 // ---- Headline: (a,b)-tree 3-path vs non-htm ----
 
 func BenchmarkHeadlineABTree(b *testing.B) {

@@ -12,7 +12,13 @@
 //	-experiment sec8      searches outside transactions (Section 8)
 //	-experiment sec10     CITRUS and k-CAS list acceleration (Section 10)
 //	-experiment headline  (a,b)-tree 3-path vs non-htm ratios (abstract)
+//	-experiment shardscale throughput vs shard count (beyond the paper:
+//	                      the key space partitioned across independent
+//	                      trees, each with its own engine and HTM context)
 //	-experiment all       everything above
+//
+// The -shards flag partitions every tree in the figure experiments
+// across N shards (default 1, the paper's unsharded configuration).
 package main
 
 import (
@@ -45,6 +51,7 @@ type options struct {
 	listKeys   uint64
 	seed       uint64
 	allAlgs    bool
+	shards     int
 }
 
 func main() {
@@ -58,7 +65,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"fig14|fig16|fig17|pathusage|sec8|sec10|headline|all")
+		"fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -67,7 +74,12 @@ func run() error {
 	flag.Uint64Var(&o.listKeys, "list-keys", 256, "k-CAS list key range")
 	flag.Uint64Var(&o.seed, "seed", 1, "base random seed")
 	flag.BoolVar(&o.allAlgs, "all-algs", false, "include 2-path-ncon and scx-htm in figures")
+	flag.IntVar(&o.shards, "shards", 1, "partition each tree across N shards (1 = unsharded)")
 	flag.Parse()
+
+	if o.shards < 1 {
+		return fmt.Errorf("bad -shards %d", o.shards)
+	}
 
 	for _, part := range strings.Split(threadsFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -79,7 +91,7 @@ func run() error {
 
 	exps := []string{o.experiment}
 	if o.experiment == "all" {
-		exps = []string{"fig14", "fig16", "fig17", "pathusage", "sec8", "sec10", "headline"}
+		exps = []string{"fig14", "fig16", "fig17", "pathusage", "sec8", "sec10", "headline", "shardscale"}
 	}
 	for _, e := range exps {
 		switch e {
@@ -97,6 +109,8 @@ func run() error {
 			sec10(o)
 		case "headline":
 			headline(o)
+		case "shardscale":
+			shardScale(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -117,26 +131,39 @@ func figureAlgorithms(all bool) []engine.Algorithm {
 
 // dsSpec describes one data-structure column of Figure 14/15.
 type dsSpec struct {
-	name     string
-	keyRange uint64
-	rqMax    uint64
-	make     func(alg engine.Algorithm, searchOutside bool, htmCfg htm.Config) dict.Dict
+	name      string // CSV label, including any "/xN" shard suffix
+	structure string // bare workload.Spec structure name
+	keyRange  uint64
+	rqMax     uint64
+	make      func(alg engine.Algorithm, searchOutside bool, htmCfg htm.Config) dict.Dict
 }
 
 func specs(o options) []dsSpec {
+	mk := func(structure string, keyRange uint64) func(engine.Algorithm, bool, htm.Config) dict.Dict {
+		return func(alg engine.Algorithm, so bool, hc htm.Config) dict.Dict {
+			return workload.Spec{
+				Structure:       structure,
+				Algorithm:       alg,
+				Shards:          o.shards,
+				KeySpan:         keyRange,
+				SearchOutsideTx: so,
+				HTM:             hc,
+			}.New()
+		}
+	}
+	// Sharded runs are labeled "bst/x8" so their CSV rows cannot be
+	// mixed up with unsharded results; unsharded labels are unchanged.
+	label := func(structure string) string {
+		if o.shards > 1 {
+			return fmt.Sprintf("%s/x%d", structure, o.shards)
+		}
+		return structure
+	}
 	return []dsSpec{
-		{
-			name: "bst", keyRange: o.bstKeys, rqMax: 1000,
-			make: func(alg engine.Algorithm, so bool, hc htm.Config) dict.Dict {
-				return bst.New(bst.Config{Algorithm: alg, SearchOutsideTx: so, HTM: hc})
-			},
-		},
-		{
-			name: "abtree", keyRange: o.abKeys, rqMax: 10000,
-			make: func(alg engine.Algorithm, so bool, hc htm.Config) dict.Dict {
-				return abtree.New(abtree.Config{Algorithm: alg, SearchOutsideTx: so, HTM: hc})
-			},
-		},
+		{name: label("bst"), structure: "bst", keyRange: o.bstKeys, rqMax: 1000,
+			make: mk("bst", o.bstKeys)},
+		{name: label("abtree"), structure: "abtree", keyRange: o.abKeys, rqMax: 10000,
+			make: mk("abtree", o.abKeys)},
 	}
 }
 
@@ -297,6 +324,44 @@ func sec10(o options) {
 		med, _ := trial(o, func() dict.Dict { return kcas.NewList(kcas.ListConfig{Algorithm: alg}) },
 			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.listKeys, Kind: workload.Light})
 		fmt.Printf("kcas-list,%s,%d,%.0f\n", alg, n, med)
+	}
+}
+
+func shardScale(o options) {
+	n := o.threads[len(o.threads)-1]
+	fmt.Println("# Shard scaling: throughput vs shard count (3-path, max threads)")
+	fmt.Println("structure,workload,shards,threads,throughput,speedup_vs_1")
+	for _, ds := range specs(o) {
+		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
+			if kind == workload.Heavy && n < 2 {
+				continue
+			}
+			var base float64
+			for _, shards := range []int{1, 2, 4, 8, 16} {
+				spec := workload.Spec{
+					Structure: ds.structure,
+					Algorithm: engine.AlgThreePath,
+					Shards:    shards,
+					KeySpan:   ds.keyRange,
+				}
+				med, _ := trial(o, spec.New, workload.Config{
+					Threads:   n,
+					Duration:  o.duration,
+					KeyRange:  ds.keyRange,
+					RQSizeMax: ds.rqMax,
+					Kind:      kind,
+				})
+				if shards == 1 {
+					base = med
+				}
+				speedup := 0.0
+				if base > 0 {
+					speedup = med / base
+				}
+				fmt.Printf("%s,%s,%d,%d,%.0f,%.2f\n",
+					ds.structure, kind, shards, n, med, speedup)
+			}
+		}
 	}
 }
 

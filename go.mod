@@ -1,0 +1,3 @@
+module htmtree
+
+go 1.24

@@ -41,6 +41,7 @@ import (
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
+	"htmtree/internal/shard"
 )
 
 // Algorithm names one of the template implementations.
@@ -101,6 +102,17 @@ type Config struct {
 	// A and B are the (a,b)-tree degree bounds (defaults 6 and 16;
 	// ignored by the BST).
 	A, B int
+
+	// Shards is the partition count for NewShardedBST / NewShardedABTree
+	// (default 8; ignored by NewBST / NewABTree). Each
+	// shard is an independent tree with its own engine, HTM context, and
+	// fallback indicator.
+	Shards int
+	// ShardKeySpan is the exclusive upper bound of the key range the
+	// partition is balanced over (default MaxKey+1). Set it near the
+	// workload's key range so the shards share load evenly; larger keys
+	// remain legal and route to the last shard.
+	ShardKeySpan uint64
 }
 
 func (c Config) algorithm() (engine.Algorithm, error) {
@@ -199,6 +211,68 @@ func NewABTree(cfg Config) (*Tree, error) {
 		SearchOutsideTx: cfg.SearchOutsideTx,
 	})
 	return &Tree{d: t, stats: t, invariants: t.CheckInvariants}, nil
+}
+
+// newSharded partitions the key space across cfg.Shards instances built
+// by mk, wiring aggregate stats and invariant checking through the
+// shard layer.
+func newSharded(cfg Config, mk func() (*Tree, error)) (*Tree, error) {
+	var inner []*Tree
+	var ctorErr error
+	sd, err := shard.New(shard.Config{
+		Shards:  cfg.Shards,
+		KeySpan: cfg.ShardKeySpan,
+		New: func(int) dict.Dict {
+			t, mkErr := mk()
+			if mkErr != nil {
+				ctorErr = mkErr
+				return emptyDict{}
+			}
+			inner = append(inner, t)
+			return t.d
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ctorErr != nil {
+		return nil, ctorErr
+	}
+	return &Tree{
+		d:     sd,
+		stats: sd,
+		invariants: func(strict bool) error {
+			for i, t := range inner {
+				if ivErr := t.invariants(strict); ivErr != nil {
+					return fmt.Errorf("shard %d: %w", i, ivErr)
+				}
+			}
+			return sd.CheckPartition()
+		},
+	}, nil
+}
+
+// emptyDict stands in for a shard whose constructor failed; the shard
+// dictionary holding it is discarded before use.
+type emptyDict struct{}
+
+func (emptyDict) NewHandle() dict.Handle      { return nil }
+func (emptyDict) KeySum() (sum, count uint64) { return 0, 0 }
+
+// NewShardedBST creates a sharded BST: the key space is partitioned
+// across cfg.Shards independent trees (each with its own engine, HTM
+// context, and fallback indicator). Point operations route to the
+// owning shard; RangeQuery fans out to the overlapping shards and
+// returns a globally key-ordered result (atomic per shard, not across
+// shards); KeySum, Stats, and CheckInvariants aggregate.
+func NewShardedBST(cfg Config) (*Tree, error) {
+	return newSharded(cfg, func() (*Tree, error) { return NewBST(cfg) })
+}
+
+// NewShardedABTree creates a sharded relaxed (a,b)-tree; see
+// NewShardedBST for the partitioning contract.
+func NewShardedABTree(cfg Config) (*Tree, error) {
+	return newSharded(cfg, func() (*Tree, error) { return NewABTree(cfg) })
 }
 
 // NewHandle registers a per-goroutine handle. Handles must not be shared

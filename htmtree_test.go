@@ -55,6 +55,72 @@ func TestFacadeBothTreesAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestFacadeShardedTrees(t *testing.T) {
+	t.Parallel()
+	type ctor struct {
+		name string
+		mk   func(htmtree.Config) (*htmtree.Tree, error)
+	}
+	for _, c := range []ctor{{"bst", htmtree.NewShardedBST}, {"abtree", htmtree.NewShardedABTree}} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			tree, err := c.mk(htmtree.Config{
+				Algorithm:    htmtree.ThreePath,
+				Shards:       4,
+				ShardKeySpan: 1000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					h := tree.NewHandle()
+					for k := uint64(g); k < 1000; k += 4 {
+						h.Insert(k+1, (k+1)*10)
+					}
+				}(g)
+			}
+			wg.Wait()
+			h := tree.NewHandle()
+			if v, ok := h.Search(500); !ok || v != 5000 {
+				t.Fatalf("Search(500) = (%d,%v), want (5000,true)", v, ok)
+			}
+			// A range query spanning every shard boundary (shard width 250)
+			// must come back complete and globally key-ordered.
+			out := h.RangeQuery(1, 1001, nil)
+			if len(out) != 1000 {
+				t.Fatalf("full RangeQuery returned %d pairs, want 1000", len(out))
+			}
+			for i, kv := range out {
+				if kv.Key != uint64(i+1) || kv.Val != uint64(i+1)*10 {
+					t.Fatalf("RangeQuery[%d] = (%d,%d), want (%d,%d)",
+						i, kv.Key, kv.Val, i+1, (i+1)*10)
+				}
+			}
+			if sum, count := tree.KeySum(); count != 1000 || sum != 1000*1001/2 {
+				t.Fatalf("KeySum = (%d,%d), want (%d,1000)", sum, count, 1000*1001/2)
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if st := tree.Stats(); st.Ops.Total() == 0 {
+				t.Fatal("sharded Stats recorded no operations")
+			}
+		})
+	}
+	// Config errors surface through the sharded constructors too.
+	if _, err := htmtree.NewShardedBST(htmtree.Config{Algorithm: "bogus"}); err == nil {
+		t.Fatal("NewShardedBST accepted an unknown algorithm")
+	}
+	if _, err := htmtree.NewShardedABTree(htmtree.Config{Shards: -3}); err == nil {
+		t.Fatal("NewShardedABTree accepted a negative shard count")
+	}
+}
+
 func TestFacadeRejectsBadConfig(t *testing.T) {
 	t.Parallel()
 	if _, err := htmtree.NewBST(htmtree.Config{Algorithm: "bogus"}); err == nil {

@@ -88,6 +88,18 @@ func (s *Stats) add(o *Stats) {
 	}
 }
 
+// Merge adds another snapshot into s. Unlike add it reads o without
+// atomics, so o must be a snapshot (e.g. a TM.Stats result), not a live
+// per-thread accumulator.
+func (s *Stats) Merge(o Stats) {
+	for p := 0; p < numPaths; p++ {
+		s.Commits[p] += o.Commits[p]
+		for c := 0; c < numCauses; c++ {
+			s.Aborts[p][c] += o.Aborts[p][c]
+		}
+	}
+}
+
 // TotalAborts returns the number of aborts on path p across all causes.
 func (s *Stats) TotalAborts(p PathKind) uint64 {
 	var n uint64

@@ -1,0 +1,66 @@
+// Package modelcheck cross-checks every dictionary configuration in the
+// repository against a trivially correct sequential model. The tests
+// run randomized operation sequences over each {algorithm × structure ×
+// shard count} combination and require op-for-op agreement on every
+// return value, range-query result, key-sum checksum, and structural
+// invariant — the differential counterpart of the paper's key-sum
+// validation (Section 7.1), which only checks aggregate state.
+package modelcheck
+
+import "sort"
+
+// Model is a sequential ordered dictionary with obviously correct
+// semantics: a plain map plus sort-on-demand range queries. It mirrors
+// the dict.Handle method set so tests can drive it in lockstep with a
+// real dictionary.
+type Model struct {
+	m map[uint64]uint64
+}
+
+// NewModel creates an empty model.
+func NewModel() *Model { return &Model{m: make(map[uint64]uint64)} }
+
+// Insert associates key with val, returning the previous value and
+// whether the key was already present.
+func (md *Model) Insert(key, val uint64) (old uint64, existed bool) {
+	old, existed = md.m[key]
+	md.m[key] = val
+	return old, existed
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (md *Model) Delete(key uint64) (old uint64, existed bool) {
+	old, existed = md.m[key]
+	delete(md.m, key)
+	return old, existed
+}
+
+// Search returns the value associated with key, if present.
+func (md *Model) Search(key uint64) (val uint64, found bool) {
+	val, found = md.m[key]
+	return val, found
+}
+
+// RangeQuery returns the pairs with lo <= key < hi in ascending key
+// order.
+func (md *Model) RangeQuery(lo, hi uint64) (keys, vals []uint64) {
+	for k := range md.m {
+		if k >= lo && k < hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		vals = append(vals, md.m[k])
+	}
+	return keys, vals
+}
+
+// KeySum returns the sum and count of the keys present.
+func (md *Model) KeySum() (sum, count uint64) {
+	for k := range md.m {
+		sum += k
+		count++
+	}
+	return sum, count
+}

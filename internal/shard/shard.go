@@ -1,0 +1,226 @@
+// Package shard implements a horizontally partitioned ordered
+// dictionary: the key space is split into N contiguous ranges, each
+// served by an independent inner dictionary (in this repository, a
+// template tree with its own engine, HTM context, and fallback
+// indicator). Point operations route to the owning shard; range queries
+// fan out to the overlapping shards and concatenate the per-shard
+// results, which — because the partition is contiguous and each shard
+// returns its pairs in ascending key order — yields a globally
+// key-ordered result without a merge step.
+//
+// Sharding is the first scaling lever on top of Brown's template
+// (PODC 2017): each tree is self-contained, so partitioning multiplies
+// the fallback indicators and transactional conflict domains, and
+// update-heavy workloads that serialize on one tree's contended paths
+// spread across N of them.
+//
+// Consistency: point operations are linearizable exactly as the inner
+// dictionaries are (each key lives in exactly one shard). A range query
+// that spans shards is atomic per shard but not across shards — it
+// observes each overlapped shard at a (possibly different) point in
+// time, in ascending key order. KeySum retains its quiescent-only
+// contract.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+)
+
+// DefaultShards is the shard count when Config.Shards is zero.
+const DefaultShards = 8
+
+// Config describes a sharded dictionary.
+type Config struct {
+	// Shards is the number of partitions (default DefaultShards).
+	Shards int
+	// KeySpan is the exclusive upper bound of the client key range the
+	// partition is balanced over (default dict.MaxKey+1). Keys at or
+	// above KeySpan are still legal: they route to the last shard, which
+	// owns everything from its lower bound upward.
+	KeySpan uint64
+	// New constructs the inner dictionary for shard i. Each call must
+	// return a fresh, independent instance.
+	New func(i int) dict.Dict
+}
+
+// statsSource matches the data structures that expose engine and HTM
+// statistics (workload.StatsProvider, without the import).
+type statsSource interface {
+	OpStats() engine.OpStats
+	HTMStats() htm.Stats
+}
+
+// Dict is a sharded ordered dictionary. It implements dict.Dict.
+type Dict struct {
+	shards []dict.Dict
+	width  uint64
+
+	// checkHandles are reserved for CheckPartition: handle registration
+	// is permanent in the inner trees' engines, so a quiescent checker
+	// must reuse one handle per shard rather than register new ones on
+	// every call. checkMu serializes checkers (handles must not be used
+	// by two goroutines at once, even quiescent ones).
+	checkMu      sync.Mutex
+	checkHandles []dict.Handle
+}
+
+// New builds a sharded dictionary from cfg.
+func New(cfg Config) (*Dict, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = DefaultShards
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: invalid shard count %d", n)
+	}
+	if cfg.New == nil {
+		return nil, fmt.Errorf("shard: nil constructor")
+	}
+	span := cfg.KeySpan
+	if span == 0 {
+		span = dict.MaxKey + 1
+	}
+	d := &Dict{
+		shards: make([]dict.Dict, n),
+		// Ceiling division so n*width covers the span; the last shard
+		// additionally owns [span, ∞) via routing clamp.
+		width: (span-1)/uint64(n) + 1,
+	}
+	for i := range d.shards {
+		d.shards[i] = cfg.New(i)
+	}
+	return d, nil
+}
+
+// NumShards returns the number of partitions.
+func (d *Dict) NumShards() int { return len(d.shards) }
+
+// Shard returns the inner dictionary serving partition i.
+func (d *Dict) Shard(i int) dict.Dict { return d.shards[i] }
+
+// ShardFor returns the index of the partition owning key.
+func (d *Dict) ShardFor(key uint64) int {
+	i := key / d.width
+	if i >= uint64(len(d.shards)) {
+		return len(d.shards) - 1 // keys beyond KeySpan belong to the last shard
+	}
+	return int(i)
+}
+
+// Bounds returns the key range [lo, hi) owned by partition i; the last
+// partition's hi is ^uint64(0) (it owns everything upward).
+func (d *Dict) Bounds(i int) (lo, hi uint64) {
+	lo = uint64(i) * d.width
+	if i == len(d.shards)-1 {
+		return lo, ^uint64(0)
+	}
+	return lo, lo + d.width
+}
+
+// NewHandle registers a per-goroutine handle on every shard.
+func (d *Dict) NewHandle() dict.Handle {
+	hs := make([]dict.Handle, len(d.shards))
+	for i, s := range d.shards {
+		hs[i] = s.NewHandle()
+	}
+	return &handle{d: d, hs: hs}
+}
+
+// KeySum returns the sum and count of keys across all shards.
+// Quiescent use only, like the inner dictionaries.
+func (d *Dict) KeySum() (sum, count uint64) {
+	for _, s := range d.shards {
+		ss, sc := s.KeySum()
+		sum += ss
+		count += sc
+	}
+	return sum, count
+}
+
+// OpStats aggregates per-path operation counts across shards (shards
+// whose inner dictionary exposes no statistics contribute zero).
+func (d *Dict) OpStats() engine.OpStats {
+	var agg engine.OpStats
+	for _, s := range d.shards {
+		if sp, ok := s.(statsSource); ok {
+			os := sp.OpStats()
+			agg.Fast += os.Fast
+			agg.Middle += os.Middle
+			agg.Fallback += os.Fallback
+		}
+	}
+	return agg
+}
+
+// HTMStats aggregates transaction commit/abort counts across shards.
+func (d *Dict) HTMStats() htm.Stats {
+	var agg htm.Stats
+	for _, s := range d.shards {
+		if sp, ok := s.(statsSource); ok {
+			agg.Merge(sp.HTMStats())
+		}
+	}
+	return agg
+}
+
+// CheckPartition verifies the partition invariant: every key stored in
+// shard i lies within Bounds(i). Quiescent use only.
+func (d *Dict) CheckPartition() error {
+	d.checkMu.Lock()
+	defer d.checkMu.Unlock()
+	if d.checkHandles == nil {
+		d.checkHandles = make([]dict.Handle, len(d.shards))
+		for i, s := range d.shards {
+			d.checkHandles[i] = s.NewHandle()
+		}
+	}
+	for i := range d.shards {
+		lo, hi := d.Bounds(i)
+		pairs := d.checkHandles[i].RangeQuery(0, dict.MaxKey+1, nil)
+		for _, kv := range pairs {
+			if kv.Key < lo || (kv.Key >= hi && i != len(d.shards)-1) {
+				return fmt.Errorf("shard %d holds key %d outside its range [%d,%d)",
+					i, kv.Key, lo, hi)
+			}
+		}
+	}
+	return nil
+}
+
+// handle is a per-goroutine handle spanning all shards.
+type handle struct {
+	d  *Dict
+	hs []dict.Handle
+}
+
+func (h *handle) Insert(key, val uint64) (old uint64, existed bool) {
+	return h.hs[h.d.ShardFor(key)].Insert(key, val)
+}
+
+func (h *handle) Delete(key uint64) (old uint64, existed bool) {
+	return h.hs[h.d.ShardFor(key)].Delete(key)
+}
+
+func (h *handle) Search(key uint64) (val uint64, found bool) {
+	return h.hs[h.d.ShardFor(key)].Search(key)
+}
+
+// RangeQuery fans out to the shards overlapping [lo, hi) in partition
+// order. Each shard filters to its own keys, so handing every shard the
+// full interval and concatenating preserves global ascending key order.
+func (h *handle) RangeQuery(lo, hi uint64, out []dict.KV) []dict.KV {
+	if hi <= lo {
+		return out
+	}
+	first := h.d.ShardFor(lo)
+	last := h.d.ShardFor(hi - 1)
+	for s := first; s <= last; s++ {
+		out = h.hs[s].RangeQuery(lo, hi, out)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"htmtree/internal/abtree"
+	"htmtree/internal/bst"
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+)
+
+func newShardedBST(t *testing.T, shards int, span uint64) *Dict {
+	t.Helper()
+	d, err := New(Config{
+		Shards:  shards,
+		KeySpan: span,
+		New: func(int) dict.Dict {
+			return bst.New(bst.Config{Algorithm: engine.AlgThreePath})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Config{Shards: -1, New: func(int) dict.Dict { return nil }}); err == nil {
+		t.Fatal("accepted negative shard count")
+	}
+	if _, err := New(Config{Shards: 4}); err == nil {
+		t.Fatal("accepted nil constructor")
+	}
+	d, err := New(Config{New: func(int) dict.Dict {
+		return bst.New(bst.Config{Algorithm: engine.AlgNonHTM})
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() != DefaultShards {
+		t.Fatalf("NumShards = %d, want default %d", d.NumShards(), DefaultShards)
+	}
+}
+
+func TestRoutingCoversKeySpace(t *testing.T) {
+	t.Parallel()
+	for _, shards := range []int{1, 2, 4, 7, 16} {
+		d := newShardedBST(t, shards, 10000)
+		prev := 0
+		for k := uint64(0); k <= 10050; k++ {
+			i := d.ShardFor(k)
+			if i < 0 || i >= shards {
+				t.Fatalf("shards=%d: ShardFor(%d) = %d out of range", shards, k, i)
+			}
+			if i < prev {
+				t.Fatalf("shards=%d: routing not monotone at key %d", shards, k)
+			}
+			lo, hi := d.Bounds(i)
+			if k < lo || (k >= hi && i != shards-1) {
+				t.Fatalf("shards=%d: key %d routed to shard %d with bounds [%d,%d)",
+					shards, k, i, lo, hi)
+			}
+			prev = i
+		}
+		// Keys far beyond the span (up to MaxKey) go to the last shard.
+		if i := d.ShardFor(dict.MaxKey); i != shards-1 {
+			t.Fatalf("shards=%d: ShardFor(MaxKey) = %d, want %d", shards, i, shards-1)
+		}
+	}
+}
+
+func TestPointOpsAndKeySum(t *testing.T) {
+	t.Parallel()
+	d := newShardedBST(t, 4, 1000)
+	h := d.NewHandle()
+	var wantSum, wantCount uint64
+	for k := uint64(1); k <= 1000; k += 3 {
+		if _, existed := h.Insert(k, k*2); existed {
+			t.Fatalf("Insert(%d) reported existing", k)
+		}
+		wantSum += k
+		wantCount++
+	}
+	if _, existed := h.Insert(7, 99); !existed {
+		t.Fatal("re-Insert(7) did not report existing")
+	}
+	if v, ok := h.Search(7); !ok || v != 99 {
+		t.Fatalf("Search(7) = (%d,%v), want (99,true)", v, ok)
+	}
+	if _, ok := h.Search(8); ok {
+		t.Fatal("Search(8) found a missing key")
+	}
+	if old, existed := h.Delete(10); !existed || old != 20 {
+		t.Fatalf("Delete(10) = (%d,%v), want (20,true)", old, existed)
+	}
+	wantSum -= 10
+	wantCount--
+	sum, count := d.KeySum()
+	if sum != wantSum || count != wantCount {
+		t.Fatalf("KeySum = (%d,%d), want (%d,%d)", sum, count, wantSum, wantCount)
+	}
+	if err := d.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeQueryAcrossShards checks fan-out range queries return exactly
+// the keys in [lo,hi), globally sorted, for windows inside one shard,
+// spanning two, and spanning all shards.
+func TestRangeQueryAcrossShards(t *testing.T) {
+	t.Parallel()
+	const span = 1024
+	d := newShardedBST(t, 8, span)
+	h := d.NewHandle()
+	for k := uint64(1); k <= span; k++ {
+		h.Insert(k, k+7)
+	}
+	for _, w := range []struct{ lo, hi uint64 }{
+		{5, 60},          // inside shard 0 (width 128)
+		{100, 300},       // spans shards 0-2
+		{1, span + 1},    // everything
+		{500, 500},       // empty
+		{700, 650},       // inverted: empty
+		{span, 2 * span}, // tail, partially beyond stored keys
+	} {
+		out := h.RangeQuery(w.lo, w.hi, nil)
+		var want []uint64
+		for k := w.lo; k < w.hi && k <= span; k++ {
+			if k >= 1 {
+				want = append(want, k)
+			}
+		}
+		if len(out) != len(want) {
+			t.Fatalf("RQ[%d,%d): %d pairs, want %d", w.lo, w.hi, len(out), len(want))
+		}
+		for i, kv := range out {
+			if kv.Key != want[i] || kv.Val != want[i]+7 {
+				t.Fatalf("RQ[%d,%d)[%d] = (%d,%d), want (%d,%d)",
+					w.lo, w.hi, i, kv.Key, kv.Val, want[i], want[i]+7)
+			}
+			if i > 0 && out[i-1].Key >= kv.Key {
+				t.Fatalf("RQ[%d,%d) unsorted at index %d", w.lo, w.hi, i)
+			}
+		}
+	}
+}
+
+func TestStatsAggregateAcrossShards(t *testing.T) {
+	t.Parallel()
+	d, err := New(Config{
+		Shards:  4,
+		KeySpan: 4000,
+		New: func(int) dict.Dict {
+			return abtree.New(abtree.Config{Algorithm: engine.AlgThreePath})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.NewHandle()
+	for k := uint64(1); k <= 4000; k++ {
+		h.Insert(k, k)
+	}
+	// Rebalancing steps count as operations too, so the aggregate is at
+	// least the number of inserts.
+	ops := d.OpStats()
+	if ops.Total() < 4000 {
+		t.Fatalf("aggregated OpStats total = %d, want >= 4000", ops.Total())
+	}
+	// Every shard saw inserts, so the aggregate must exceed any single
+	// shard's count.
+	for i := 0; i < d.NumShards(); i++ {
+		if sp, ok := d.Shard(i).(interface{ OpStats() engine.OpStats }); ok {
+			if one := sp.OpStats().Total(); one == 0 || one >= ops.Total() {
+				t.Fatalf("shard %d ops = %d of aggregate %d", i, one, ops.Total())
+			}
+		}
+	}
+	hs := d.HTMStats()
+	var commits uint64
+	for p := range hs.Commits {
+		commits += hs.Commits[p]
+	}
+	if commits == 0 {
+		t.Fatal("aggregated HTMStats recorded no commits")
+	}
+}
+
+func TestConcurrentShardedUse(t *testing.T) {
+	t.Parallel()
+	const span = 512
+	d := newShardedBST(t, 8, span)
+	var wg sync.WaitGroup
+	sums := make([]int64, 4)
+	counts := make([]int64, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			for i := 0; i < 4000; i++ {
+				k := uint64((g*31+i*7)%span) + 1
+				if i%2 == 0 {
+					if _, existed := h.Insert(k, k); !existed {
+						sums[g] += int64(k)
+						counts[g]++
+					}
+				} else {
+					if _, existed := h.Delete(k); existed {
+						sums[g] -= int64(k)
+						counts[g]--
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var wantSum, wantCount int64
+	for g := range sums {
+		wantSum += sums[g]
+		wantCount += counts[g]
+	}
+	sum, count := d.KeySum()
+	if int64(sum) != wantSum || int64(count) != wantCount {
+		t.Fatalf("key-sum (%d,%d), threads (%d,%d)", sum, count, wantSum, wantCount)
+	}
+	if err := d.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+
+	"htmtree/internal/abtree"
+	"htmtree/internal/bst"
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+	"htmtree/internal/shard"
+)
+
+// Spec names one dictionary configuration for benchmarks and tests: a
+// structure, a template algorithm, and an optional shard count. It is
+// the shard-aware counterpart of constructing a tree directly, so sweep
+// drivers (cmd/htmbench, bench_test.go) can enumerate configurations
+// uniformly.
+type Spec struct {
+	// Structure is "bst" or "abtree".
+	Structure string
+	// Algorithm selects the template implementation.
+	Algorithm engine.Algorithm
+	// Shards partitions the key space across that many independent trees
+	// (0 or 1 means unsharded).
+	Shards int
+	// KeySpan balances the partition over [0, KeySpan); set it to the
+	// trial's key range. Ignored when unsharded; defaults to the full
+	// key space.
+	KeySpan uint64
+	// SearchOutsideTx enables the Section 8 optimization.
+	SearchOutsideTx bool
+	// HTM overrides the simulated-HTM configuration.
+	HTM htm.Config
+}
+
+// Name returns a compact label, e.g. "abtree/3-path/x8". An explicit
+// Shards of 1 is labeled "/x1" so a shard sweep's baseline stays
+// distinguishable from unsharded (Shards == 0) series.
+func (s Spec) Name() string {
+	n := s.Structure + "/" + s.Algorithm.String()
+	if s.Shards >= 1 {
+		n += fmt.Sprintf("/x%d", s.Shards)
+	}
+	return n
+}
+
+// New constructs a fresh dictionary instance described by the spec.
+// It panics on an unknown structure name (specs are authored by sweep
+// drivers, not end users).
+func (s Spec) New() dict.Dict {
+	mk := func() dict.Dict {
+		switch s.Structure {
+		case "bst":
+			return bst.New(bst.Config{
+				Algorithm:       s.Algorithm,
+				SearchOutsideTx: s.SearchOutsideTx,
+				HTM:             s.HTM,
+			})
+		case "abtree":
+			return abtree.New(abtree.Config{
+				Algorithm:       s.Algorithm,
+				SearchOutsideTx: s.SearchOutsideTx,
+				HTM:             s.HTM,
+			})
+		default:
+			panic(fmt.Sprintf("workload: unknown structure %q", s.Structure))
+		}
+	}
+	if s.Shards <= 1 {
+		return mk()
+	}
+	d, err := shard.New(shard.Config{
+		Shards:  s.Shards,
+		KeySpan: s.KeySpan,
+		New:     func(int) dict.Dict { return mk() },
+	})
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err)) // only reachable via invalid Shards
+	}
+	return d
+}

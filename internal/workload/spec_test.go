@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+
+	"htmtree/internal/engine"
+	"htmtree/internal/shard"
+)
+
+func TestSpecNames(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Structure: "bst", Algorithm: engine.AlgNonHTM}, "bst/non-htm"},
+		{Spec{Structure: "abtree", Algorithm: engine.AlgThreePath, Shards: 8}, "abtree/3-path/x8"},
+		{Spec{Structure: "bst", Algorithm: engine.AlgTLE, Shards: 1}, "bst/tle/x1"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestSpecRunsTrials drives a short trial through every structure,
+// sharded and not, and requires the key-sum checksum to validate — the
+// shard layer must keep the workload contract intact.
+func TestSpecRunsTrials(t *testing.T) {
+	t.Parallel()
+	for _, structure := range []string{"bst", "abtree"} {
+		for _, shards := range []int{1, 4} {
+			shards := shards
+			spec := Spec{
+				Structure: structure,
+				Algorithm: engine.AlgThreePath,
+				Shards:    shards,
+				KeySpan:   2048,
+			}
+			t.Run(spec.Name(), func(t *testing.T) {
+				t.Parallel()
+				d := spec.New()
+				if shards > 1 {
+					sd, ok := d.(*shard.Dict)
+					if !ok || sd.NumShards() != shards {
+						t.Fatalf("Spec.New() did not build a %d-shard dictionary", shards)
+					}
+				}
+				res := Run(d, Config{
+					Threads:   4,
+					Duration:  20_000_000, // 20ms
+					KeyRange:  2048,
+					RQSizeMax: 256,
+					Kind:      Heavy,
+					Seed:      42,
+				})
+				if !res.KeySumOK {
+					t.Fatal("key-sum validation failed")
+				}
+				if res.Ops == 0 {
+					t.Fatal("trial completed no operations")
+				}
+				if res.PathStats.Total() == 0 {
+					t.Fatal("no per-path stats aggregated")
+				}
+			})
+		}
+	}
+}
