@@ -15,6 +15,9 @@
 //	-experiment shardscale throughput vs shard count (beyond the paper:
 //	                      the key space partitioned across independent
 //	                      trees, each with its own engine and HTM context)
+//	-experiment rqconsistency retry/escalation rate of atomic cross-shard
+//	                      range queries as update load grows (beyond the
+//	                      paper: the per-shard version validation scheme)
 //	-experiment all       everything above
 //
 // The -shards flag partitions every tree in the figure experiments
@@ -28,6 +31,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"htmtree/internal/abtree"
@@ -38,7 +43,9 @@ import (
 	"htmtree/internal/htm"
 	"htmtree/internal/hybridnorec"
 	"htmtree/internal/kcas"
+	"htmtree/internal/shard"
 	"htmtree/internal/workload"
+	"htmtree/internal/xrand"
 )
 
 type options struct {
@@ -65,7 +72,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|all")
+		"fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -91,7 +98,8 @@ func run() error {
 
 	exps := []string{o.experiment}
 	if o.experiment == "all" {
-		exps = []string{"fig14", "fig16", "fig17", "pathusage", "sec8", "sec10", "headline", "shardscale"}
+		exps = []string{"fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
+			"headline", "shardscale", "rqconsistency"}
 	}
 	for _, e := range exps {
 		switch e {
@@ -111,6 +119,8 @@ func run() error {
 			headline(o)
 		case "shardscale":
 			shardScale(o)
+		case "rqconsistency":
+			rqConsistency(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -361,6 +371,118 @@ func shardScale(o options) {
 				fmt.Printf("%s,%s,%d,%d,%.0f,%.2f\n",
 					ds.structure, kind, shards, n, med, speedup)
 			}
+		}
+	}
+}
+
+// rqTrialResult is one rqConsistency measurement window.
+type rqTrialResult struct {
+	updates, rqs uint64
+	stats        shard.RQStats
+}
+
+// rqConsistency measures the cost of atomic cross-shard range queries:
+// one range-query thread issues multi-shard windows against a sharded
+// 3-path tree with per-shard version validation while u updater threads
+// churn the key space. Reported are both sides' throughput and the
+// validation loop's retry and quiesce-escalation counters — the
+// optimistic scheme's price as update rate grows.
+func rqConsistency(o options) {
+	shards := o.shards
+	if shards < 2 {
+		shards = 8 // the experiment is about cross-shard windows
+	}
+	fmt.Println("# RQ consistency: atomic cross-shard range queries under increasing update load")
+	fmt.Printf("# 3-path, %d shards; each row: updaters u + 1 range-query thread\n", shards)
+	fmt.Println("structure,shards,updaters,updates_per_sec,rqs_per_sec,rq_attempts,rq_retries,rq_escalations,retries_per_rq")
+	for _, ds := range specs(o) {
+		keyRange := ds.keyRange
+		width := keyRange / uint64(shards)
+		if width == 0 {
+			width = 1
+		}
+		for _, n := range o.threads {
+			u := n - 1
+			runTrial := func(seed uint64) rqTrialResult {
+				spec := workload.Spec{
+					Structure: ds.structure,
+					Algorithm: engine.AlgThreePath,
+					Shards:    shards,
+					KeySpan:   keyRange,
+					AtomicRQ:  true,
+				}
+				d := spec.New()
+				hp := d.NewHandle()
+				for k := uint64(1); k <= keyRange; k += 2 { // prefill half the keys
+					hp.Insert(k, k)
+				}
+				var (
+					stop    atomic.Bool
+					updates atomic.Uint64
+					rqs     atomic.Uint64
+					wg      sync.WaitGroup
+				)
+				for g := 0; g < u; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						h := d.NewHandle()
+						rng := xrand.New(seed, uint64(g)+1)
+						var done uint64
+						for !stop.Load() {
+							k := rng.Uint64n(keyRange) + 1
+							if rng.Next()&1 == 0 {
+								h.Insert(k, k)
+							} else {
+								h.Delete(k)
+							}
+							done++
+						}
+						updates.Add(done)
+					}(g)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := d.NewHandle()
+					rng := xrand.New(seed, 0x5eed)
+					var out []dict.KV
+					var done uint64
+					for !stop.Load() {
+						// Windows of 1..4 shard widths: most fan out.
+						lo := rng.Uint64n(keyRange) + 1
+						hi := lo + width + rng.Uint64n(3*width)
+						out = h.RangeQuery(lo, hi, out[:0])
+						done++
+					}
+					rqs.Add(done)
+				}()
+				time.Sleep(o.duration)
+				stop.Store(true)
+				wg.Wait()
+				return rqTrialResult{
+					updates: updates.Load(),
+					rqs:     rqs.Load(),
+					stats:   d.(*shard.Dict).RQStats(),
+				}
+			}
+			// Like trial(): o.trials runs, median by range-query
+			// throughput reported.
+			results := make([]rqTrialResult, 0, o.trials)
+			for i := 0; i < o.trials; i++ {
+				results = append(results, runTrial(o.seed+uint64(i)*7919))
+			}
+			sort.Slice(results, func(i, j int) bool { return results[i].rqs < results[j].rqs })
+			med := results[len(results)/2]
+			secs := o.duration.Seconds()
+			retPerRQ := 0.0
+			if med.rqs > 0 {
+				retPerRQ = float64(med.stats.Retries) / float64(med.rqs)
+			}
+			fmt.Printf("%s,%d,%d,%.0f,%.0f,%d,%d,%d,%.3f\n",
+				ds.structure, shards, u,
+				float64(med.updates)/secs, float64(med.rqs)/secs,
+				med.stats.Attempts, med.stats.Retries, med.stats.Escalations, retPerRQ)
 		}
 	}
 }

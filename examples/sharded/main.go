@@ -4,6 +4,12 @@
 // ranges never shares a conflict domain. Point operations route to the
 // owning shard; range queries fan out across shard boundaries and come
 // back globally key-ordered; statistics and invariant checks aggregate.
+//
+// With AtomicRangeQueries the fan-out is also atomic ACROSS shards:
+// every shard carries a version monitor its updaters advance at commit,
+// and a multi-shard read retries until no shard's version moved while
+// it ran — so the merged result is a consistent cut, and KeySum may run
+// concurrently with the writers.
 package main
 
 import (
@@ -17,9 +23,10 @@ import (
 func main() {
 	const keySpan = 1 << 20
 	tree, err := htmtree.NewShardedABTree(htmtree.Config{
-		Algorithm:    htmtree.ThreePath,
-		Shards:       8,
-		ShardKeySpan: keySpan, // balance the partition over the keys we will use
+		Algorithm:          htmtree.ThreePath,
+		Shards:             8,
+		ShardKeySpan:       keySpan, // balance the partition over the keys we will use
+		AtomicRangeQueries: true,    // cross-shard reads are consistent cuts
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,4 +79,6 @@ func main() {
 		st.Ops.Fast, st.Ops.Middle, st.Ops.Fallback)
 	fmt.Printf("aggregate transactions: %d commits, %d aborts (fast path)\n",
 		st.TxCommits.Fast, st.TxAborts.Fast)
+	fmt.Printf("atomic cross-shard reads: %d attempts, %d retries, %d escalations\n",
+		st.Range.Attempts, st.Range.Retries, st.Range.Escalations)
 }

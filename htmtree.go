@@ -113,6 +113,20 @@ type Config struct {
 	// workload's key range so the shards share load evenly; larger keys
 	// remain legal and route to the last shard.
 	ShardKeySpan uint64
+	// AtomicRangeQueries makes RangeQuery and KeySum on a sharded tree
+	// atomic across shards: every shard carries a version/epoch monitor
+	// that updaters advance exactly at operation commit, and a
+	// multi-shard read validates that no shard's version moved while it
+	// ran, retrying (and, after RQRetries attempts, briefly quiescing
+	// the overlapping shards) otherwise. Without it, a cross-shard read
+	// observes each shard at a possibly different point in time.
+	// Ignored by unsharded trees, whose reads are single operations and
+	// already atomic.
+	AtomicRangeQueries bool
+	// RQRetries bounds the optimistic validation attempts of an atomic
+	// cross-shard read before it escalates to quiescing the overlapping
+	// shards (default 8). Ignored unless AtomicRangeQueries.
+	RQRetries int
 }
 
 func (c Config) algorithm() (engine.Algorithm, error) {
@@ -173,15 +187,19 @@ type Tree struct {
 
 // NewBST creates an unbalanced external binary search tree (paper
 // Section 6.1).
-func NewBST(cfg Config) (*Tree, error) {
+func NewBST(cfg Config) (*Tree, error) { return newBST(cfg, nil) }
+
+func newBST(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 	alg, err := cfg.algorithm()
 	if err != nil {
 		return nil, err
 	}
+	ecfg := cfg.engineConfig()
+	ecfg.Monitor = mon
 	t := bst.New(bst.Config{
 		Algorithm:       alg,
 		HTM:             cfg.htmConfig(),
-		Engine:          cfg.engineConfig(),
+		Engine:          ecfg,
 		SearchOutsideTx: cfg.SearchOutsideTx,
 	})
 	return &Tree{
@@ -194,7 +212,9 @@ func NewBST(cfg Config) (*Tree, error) {
 }
 
 // NewABTree creates a relaxed (a,b)-tree (paper Section 6.2).
-func NewABTree(cfg Config) (*Tree, error) {
+func NewABTree(cfg Config) (*Tree, error) { return newABTree(cfg, nil) }
+
+func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 	alg, err := cfg.algorithm()
 	if err != nil {
 		return nil, err
@@ -202,12 +222,14 @@ func NewABTree(cfg Config) (*Tree, error) {
 	if cfg.A != 0 && (cfg.A < 2 || cfg.B < 2*cfg.A-1) {
 		return nil, fmt.Errorf("htmtree: invalid degree bounds a=%d b=%d", cfg.A, cfg.B)
 	}
+	ecfg := cfg.engineConfig()
+	ecfg.Monitor = mon
 	t := abtree.New(abtree.Config{
 		A:               cfg.A,
 		B:               cfg.B,
 		Algorithm:       alg,
 		HTM:             cfg.htmConfig(),
-		Engine:          cfg.engineConfig(),
+		Engine:          ecfg,
 		SearchOutsideTx: cfg.SearchOutsideTx,
 	})
 	return &Tree{d: t, stats: t, invariants: t.CheckInvariants}, nil
@@ -215,15 +237,19 @@ func NewABTree(cfg Config) (*Tree, error) {
 
 // newSharded partitions the key space across cfg.Shards instances built
 // by mk, wiring aggregate stats and invariant checking through the
-// shard layer.
-func newSharded(cfg Config, mk func() (*Tree, error)) (*Tree, error) {
+// shard layer. With AtomicRangeQueries each inner tree's engine gets
+// the shard's update monitor, and the SNZI preference carries over to
+// the quiesce gates.
+func newSharded(cfg Config, mk func(mon *engine.UpdateMonitor) (*Tree, error)) (*Tree, error) {
 	var inner []*Tree
 	var ctorErr error
-	sd, err := shard.New(shard.Config{
-		Shards:  cfg.Shards,
-		KeySpan: cfg.ShardKeySpan,
-		New: func(int) dict.Dict {
-			t, mkErr := mk()
+	scfg := shard.Config{
+		Shards:    cfg.Shards,
+		KeySpan:   cfg.ShardKeySpan,
+		Atomic:    cfg.AtomicRangeQueries,
+		RQRetries: cfg.RQRetries,
+		New: func(_ int, mon *engine.UpdateMonitor) dict.Dict {
+			t, mkErr := mk(mon)
 			if mkErr != nil {
 				ctorErr = mkErr
 				return emptyDict{}
@@ -231,7 +257,11 @@ func newSharded(cfg Config, mk func() (*Tree, error)) (*Tree, error) {
 			inner = append(inner, t)
 			return t.d
 		},
-	})
+	}
+	if cfg.UseSNZI {
+		scfg.Gate = func(int) engine.Indicator { return engine.NewSNZIIndicator() }
+	}
+	sd, err := shard.New(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -263,16 +293,21 @@ func (emptyDict) KeySum() (sum, count uint64) { return 0, 0 }
 // across cfg.Shards independent trees (each with its own engine, HTM
 // context, and fallback indicator). Point operations route to the
 // owning shard; RangeQuery fans out to the overlapping shards and
-// returns a globally key-ordered result (atomic per shard, not across
-// shards); KeySum, Stats, and CheckInvariants aggregate.
+// returns a globally key-ordered result — atomic per shard always, and
+// atomic across shards when cfg.AtomicRangeQueries is set; KeySum,
+// Stats, and CheckInvariants aggregate.
 func NewShardedBST(cfg Config) (*Tree, error) {
-	return newSharded(cfg, func() (*Tree, error) { return NewBST(cfg) })
+	return newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
+		return newBST(cfg, mon)
+	})
 }
 
 // NewShardedABTree creates a sharded relaxed (a,b)-tree; see
 // NewShardedBST for the partitioning contract.
 func NewShardedABTree(cfg Config) (*Tree, error) {
-	return newSharded(cfg, func() (*Tree, error) { return NewABTree(cfg) })
+	return newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
+		return newABTree(cfg, mon)
+	})
 }
 
 // NewHandle registers a per-goroutine handle. Handles must not be shared
@@ -281,8 +316,10 @@ func (t *Tree) NewHandle() *Handle {
 	return &Handle{h: t.d.NewHandle()}
 }
 
-// KeySum returns the sum and count of the keys present. Quiescent use
-// only (it is the paper's validation checksum).
+// KeySum returns the sum and count of the keys present (the paper's
+// validation checksum). On a sharded tree with AtomicRangeQueries it is
+// a consistent cut and may run concurrently with updates; otherwise it
+// is quiescent use only.
 func (t *Tree) KeySum() (sum, count uint64) { return t.d.KeySum() }
 
 // CheckInvariants validates the structure (quiescent use only).
@@ -328,6 +365,15 @@ type PathCounts struct {
 // Total sums the three paths.
 func (p PathCounts) Total() uint64 { return p.Fast + p.Middle + p.Fallback }
 
+// RangeQueryStats counts the outcomes of atomic cross-shard reads.
+type RangeQueryStats struct {
+	// Attempts counts validated snapshot attempts (including the
+	// successful final attempt of every read), Retries the attempts
+	// invalidated by concurrent updates, and Escalations the reads that
+	// exhausted the optimistic budget and briefly quiesced their shards.
+	Attempts, Retries, Escalations uint64
+}
+
 // Stats is a snapshot of a tree's execution statistics: how many
 // operations completed on each path (Section 7.2 of the paper) and how
 // transactions committed/aborted (Figure 16).
@@ -338,6 +384,9 @@ type Stats struct {
 	TxCommits, TxAborts PathCounts
 	// AbortCauses breaks aborts down as "path/cause" -> count.
 	AbortCauses map[string]uint64
+	// Range reports atomic cross-shard read outcomes; all zero unless
+	// the tree is sharded with AtomicRangeQueries.
+	Range RangeQueryStats
 }
 
 // Stats returns a snapshot of the tree's statistics. Safe to call while
@@ -364,6 +413,14 @@ func (t *Tree) Stats() Stats {
 			if n := hs.Aborts[p][c]; n > 0 {
 				s.AbortCauses[p.String()+"/"+c.String()] = n
 			}
+		}
+	}
+	if sd, ok := t.d.(*shard.Dict); ok {
+		rs := sd.RQStats()
+		s.Range = RangeQueryStats{
+			Attempts:    rs.Attempts,
+			Retries:     rs.Retries,
+			Escalations: rs.Escalations,
 		}
 	}
 	return s

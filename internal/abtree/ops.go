@@ -20,6 +20,7 @@ func (h *Handle) buildOps() {
 		SCXHTM: func(useHTM bool) bool {
 			return t.insertBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
 		},
+		Update: true,
 	}
 	h.deleteOp = engine.Op{
 		Fast:     func(tx *htm.Tx) { t.deleteBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
@@ -29,6 +30,7 @@ func (h *Handle) buildOps() {
 		SCXHTM: func(useHTM bool) bool {
 			return t.deleteBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
 		},
+		Update: true,
 	}
 	h.searchOp = engine.Op{
 		Fast:     func(tx *htm.Tx) { t.searchBody(tx, h) },
@@ -44,6 +46,9 @@ func (h *Handle) buildOps() {
 		Locked:   func() { t.rqInTx(nil, h) },
 		SCXHTM:   func(bool) bool { return t.rqFallback(h) },
 	}
+	// fixOp is deliberately not an Update: rebalancing steps restructure
+	// nodes but never change the logical key/value content, so they need
+	// not invalidate cross-shard snapshot validation.
 	h.fixOp = engine.Op{
 		Fast:     func(tx *htm.Tx) { t.fixBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
 		Middle:   func(tx *htm.Tx) { t.fixBody(&prims{t: t, h: h, tx: tx, m: modeMiddle}) },
@@ -53,6 +58,10 @@ func (h *Handle) buildOps() {
 			return t.fixBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
 		},
 	}
+	// Pre-wrap the update ops' transactional bodies with the engine's
+	// monitor bump (no-op without a monitor) so Run stays allocation-free.
+	h.insertOp = h.e.PrepareOp(h.insertOp)
+	h.deleteOp = h.e.PrepareOp(h.deleteOp)
 }
 
 // Insert associates key with val.

@@ -20,6 +20,7 @@ func (h *Handle) buildOps() {
 		Fallback: func() bool { return t.insertTemplate(h, false) },
 		Locked:   func() { t.insertFast(nil, h) },
 		SCXHTM:   func(useHTM bool) bool { return t.insertTemplate(h, useHTM) },
+		Update:   true,
 	}
 	h.deleteOp = engine.Op{
 		Fast:     func(tx *htm.Tx) { t.deleteFast(tx, h) },
@@ -27,6 +28,7 @@ func (h *Handle) buildOps() {
 		Fallback: func() bool { return t.deleteTemplate(h, false) },
 		Locked:   func() { t.deleteFast(nil, h) },
 		SCXHTM:   func(useHTM bool) bool { return t.deleteTemplate(h, useHTM) },
+		Update:   true,
 	}
 	h.searchOp = engine.Op{
 		Fast:     func(tx *htm.Tx) { t.searchBody(tx, h) },
@@ -42,6 +44,10 @@ func (h *Handle) buildOps() {
 		Locked:   func() { t.rqInTx(nil, h) },
 		SCXHTM:   func(bool) bool { return t.rqFallback(h) },
 	}
+	// Pre-wrap the update ops' transactional bodies with the engine's
+	// monitor bump (no-op without a monitor) so Run stays allocation-free.
+	h.insertOp = h.e.PrepareOp(h.insertOp)
+	h.deleteOp = h.e.PrepareOp(h.deleteOp)
 }
 
 // Insert associates key with val (paper Figures 12/13).

@@ -153,6 +153,14 @@ type Config struct {
 	// fetch-and-increment counter). Use snzi.New() for the scalable
 	// variant.
 	Indicator Indicator
+	// Monitor, when non-nil, publishes the commit point of every update
+	// operation (Op.Update) so an external reader can validate that no
+	// update committed during a window: transactional paths bump its
+	// version counter inside the operation's transaction, and
+	// non-transactional paths bracket the operation with its
+	// ingress/egress counters. The sharding layer installs one monitor
+	// per shard to make cross-shard range queries atomic.
+	Monitor *UpdateMonitor
 }
 
 func (c Config) withDefaults() Config {
@@ -266,19 +274,73 @@ type Op struct {
 	// true, or SCXO when false. It returns false to request a retry.
 	// Only used by AlgSCXHTM.
 	SCXHTM func(useHTM bool) bool
+	// Update marks operations that may change the dictionary's logical
+	// content (inserts and deletes, but not searches, range queries, or
+	// content-preserving rebalancing steps). When the engine has a
+	// Monitor, update operations publish their commit through it and
+	// wait at the quiesce gate.
+	Update bool
+	// prepared records that Fast and Middle already include the
+	// monitor's commit bump (Thread.PrepareOp), so Run need not wrap
+	// them per call.
+	prepared bool
+}
+
+// PrepareOp returns op with its transactional bodies pre-extended to
+// bump the engine's update monitor at commit, so Run adds no
+// per-operation closure allocations on monitored paths. Handles should
+// call it once when they construct their update ops; Run falls back to
+// wrapping unprepared ops on the fly. Without a monitor (or for
+// non-update ops) op is returned unchanged.
+func (th *Thread) PrepareOp(op Op) Op {
+	mon := th.eng.cfg.Monitor
+	if mon == nil || !op.Update || op.prepared {
+		return op
+	}
+	if f := op.Fast; f != nil {
+		op.Fast = func(tx *htm.Tx) {
+			f(tx)
+			mon.bumpTx(tx)
+		}
+	}
+	if m := op.Middle; m != nil {
+		op.Middle = func(tx *htm.Tx) {
+			m(tx)
+			mon.bumpTx(tx)
+		}
+	}
+	op.prepared = true
+	return op
 }
 
 // Run executes op under the engine's algorithm and returns the path the
 // operation completed on.
+//
+// When the engine has an UpdateMonitor and op is an update, Run
+// publishes the operation's commit point through the monitor:
+// transactional paths bump the monitor's version counter inside the
+// operation's own transaction (pre-wrapped by PrepareOp, or wrapped
+// here for unprepared ops), non-transactional paths (the lock-free
+// fallback, TLE's locked body, scx-htm) are bracketed by its
+// ingress/egress counters, and the operation waits at the monitor's
+// quiesce gate before starting.
 func (th *Thread) Run(op Op) htm.PathKind {
 	e := th.eng
+	mon := e.cfg.Monitor
+	if !op.Update {
+		mon = nil
+	}
+	if mon != nil {
+		mon.waitGate()
+		op = th.PrepareOp(op) // no-op for ops prepared at construction
+	}
 	switch e.cfg.Algorithm {
 	case AlgNonHTM:
-		th.runFallbackLoop(op, nil)
+		th.runFallbackLoop(op, nil, mon)
 		return htm.PathFallback
 
 	case AlgTLE:
-		return th.runTLE(op)
+		return th.runTLE(op, mon)
 
 	case AlgTwoPathConc:
 		// Fast path: the whole operation in one transaction using the
@@ -290,7 +352,7 @@ func (th *Thread) Run(op Op) htm.PathKind {
 				return htm.PathFast
 			}
 		}
-		th.runFallbackLoop(op, nil)
+		th.runFallbackLoop(op, nil, mon)
 		return htm.PathFallback
 
 	case AlgTwoPathNCon:
@@ -311,7 +373,7 @@ func (th *Thread) Run(op Op) htm.PathKind {
 				return htm.PathFast
 			}
 		}
-		th.runFallbackLoop(op, ind)
+		th.runFallbackLoop(op, ind, mon)
 		return htm.PathFallback
 
 	case AlgThreePath:
@@ -346,10 +408,17 @@ func (th *Thread) Run(op Op) htm.PathKind {
 				break
 			}
 		}
-		th.runFallbackLoop(op, ind)
+		th.runFallbackLoop(op, ind, mon)
 		return htm.PathFallback
 
 	case AlgSCXHTM:
+		// The standalone HTM SCX commits inside op.SCXHTM where the
+		// engine cannot reach, so both its modes count as
+		// non-transactional for the monitor.
+		if mon != nil {
+			mon.beginNonTx()
+			defer mon.endNonTx()
+		}
 		for i := 0; i < e.cfg.AttemptLimit; i++ {
 			if op.SCXHTM(true) {
 				th.completed(htm.PathFast)
@@ -370,7 +439,7 @@ func (th *Thread) Run(op Op) htm.PathKind {
 // to the global lock and aborts while it is held; after AttemptLimit
 // failed attempts the operation acquires the lock and runs the
 // sequential body. TLE is deadlock-free but not lock-free.
-func (th *Thread) runTLE(op Op) htm.PathKind {
+func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 	e := th.eng
 	for i := 0; i < e.cfg.AttemptLimit; i++ {
 		waitWhile(func() bool { return e.tle.Get(nil) != 0 })
@@ -388,18 +457,34 @@ func (th *Thread) runTLE(op Op) htm.PathKind {
 	for !e.tle.CAS(nil, 0, 1) {
 		runtime.Gosched()
 	}
-	op.Locked()
+	func() {
+		// Bracket with defer, like runFallbackLoop: a panic out of the
+		// locked body must not strand the ingress counter (which would
+		// wedge every future Sample and Quiesce on this monitor).
+		if mon != nil {
+			mon.beginNonTx()
+			defer mon.endNonTx()
+		}
+		op.Locked()
+	}()
 	e.tle.Set(nil, 0)
 	th.completed(htm.PathFallback)
 	return htm.PathFallback
 }
 
 // runFallbackLoop runs the lock-free fallback body to completion,
-// bracketing it with the presence indicator when one is in use.
-func (th *Thread) runFallbackLoop(op Op, ind Indicator) {
+// bracketing it with the presence indicator when one is in use and with
+// the update monitor's ingress/egress counters when the operation is a
+// monitored update (the fallback's SCX commits non-transactionally, so
+// the bracket is how its commit point is published).
+func (th *Thread) runFallbackLoop(op Op, ind Indicator, mon *UpdateMonitor) {
 	if ind != nil {
 		depart := ind.Arrive()
 		defer depart()
+	}
+	if mon != nil {
+		mon.beginNonTx()
+		defer mon.endNonTx()
 	}
 	for !op.Fallback() {
 	}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"htmtree/internal/htm"
+)
+
+// UpdateMonitor publishes the commit points of a dictionary's update
+// operations so that an external reader (the sharding layer's fan-out
+// range queries) can tell whether any update committed, or was in
+// flight, during a window of time. It is the per-shard half of the
+// optimistic cross-shard snapshot validation scheme: the shard layer
+// samples every overlapping shard's monitor, reads the shards, and
+// re-validates the samples; an unchanged monitor proves the shard's
+// logical content was stable over the whole window.
+//
+// Two disciplines cover the template's execution paths (Section 5 of
+// the paper):
+//
+//   - Transactional paths (HTM fast path, middle path, TLE's elided
+//     path) bump a version counter inside the update's own transaction
+//     via htm.Word.AddAtCommit, so the bump is atomic with the
+//     operation's commit — a reader either sees the operation and its
+//     bump, or neither.
+//   - Non-transactional paths (the lock-free fallback's SCX, TLE's
+//     locked body, the Section 4 HTM-SCX algorithm) have no single
+//     commit instruction the monitor can piggyback on, so they bracket
+//     the whole operation with ingress/egress counters, seqlock style:
+//     a reader treats "ingress != egress" or "ingress moved" as a
+//     possible concurrent commit.
+//
+// The monitor also carries a quiesce gate — an Indicator, the same
+// abstraction as the paper's fallback-presence indicator — that lets a
+// reader that keeps losing the optimistic race briefly hold off new
+// update operations (they wait at Thread.Run entry) so validation is
+// guaranteed to succeed after the in-flight operations drain.
+type UpdateMonitor struct {
+	// txver counts updates committed on transactional paths. Bumped via
+	// AddAtCommit so concurrent updaters only collide on the commit-time
+	// lock, not on each other's read sets.
+	txver htm.Word
+	// nin/nout bracket updates on non-transactional paths: nin is
+	// incremented when such an operation starts, nout when it completes.
+	// nin == nout means none is in flight. Plain atomics, not htm cells:
+	// they are never accessed transactionally, and an htm.Word bump
+	// would advance the global version clock — forcing unrelated
+	// concurrent transactions process-wide into full read-set
+	// validation on every bracketed update.
+	nin, nout atomic.Uint64
+	// gate holds off new update operations while a reader quiesces the
+	// shard. Readers Arrive/Depart; updaters wait while it is nonzero.
+	gate Indicator
+}
+
+// NewUpdateMonitor creates a monitor. A nil gate selects the plain
+// fetch-and-increment indicator; pass NewSNZIIndicator() for the
+// scalable variant when many readers may escalate concurrently.
+func NewUpdateMonitor(gate Indicator) *UpdateMonitor {
+	if gate == nil {
+		gate = &counterIndicator{}
+	}
+	return &UpdateMonitor{gate: gate}
+}
+
+// bumpTx publishes an update committing on a transactional path. Called
+// by the engine inside the update's transaction, so the bump commits
+// atomically with the operation.
+func (m *UpdateMonitor) bumpTx(tx *htm.Tx) { m.txver.AddAtCommit(tx, 1) }
+
+// beginNonTx / endNonTx bracket an update running on a path whose
+// commit is not a single transaction.
+func (m *UpdateMonitor) beginNonTx() { m.nin.Add(1) }
+func (m *UpdateMonitor) endNonTx()   { m.nout.Add(1) }
+
+// nonTxInFlight reports whether a bracketed update is in flight.
+func (m *UpdateMonitor) nonTxInFlight() bool {
+	return m.nin.Load() != m.nout.Load()
+}
+
+// waitGate blocks while a reader holds the quiesce gate. Called by the
+// engine before an update operation starts.
+func (m *UpdateMonitor) waitGate() {
+	waitWhile(func() bool { return m.gate.Nonzero(nil) })
+}
+
+// MonitorSample is a reader's snapshot of a monitor, taken with Sample
+// and checked with Validate.
+type MonitorSample struct {
+	ver uint64 // transactional-path version counter
+	in  uint64 // non-transactional ingress counter
+}
+
+// Sample captures the monitor's state before a read of the shard.
+// ok is false when a non-transactional update is in flight (the read
+// would race its uninstrumented commit); the caller should retry.
+//
+// The read order matters for the validation proof: egress before
+// ingress (so a bracketed operation spanning the reads is seen as in
+// flight, never as complete), and the version counter last (so it is
+// the latest point the pre-read state is known to cover).
+func (m *UpdateMonitor) Sample() (MonitorSample, bool) {
+	out := m.nout.Load()
+	in := m.nin.Load()
+	ver := m.txver.Get(nil)
+	if in != out {
+		return MonitorSample{}, false
+	}
+	return MonitorSample{ver: ver, in: in}, true
+}
+
+// Validate reports whether the shard's logical content has provably not
+// changed since s was taken: no transactional update committed (version
+// unchanged) and no non-transactional update started (ingress
+// unchanged; s itself proved none was in flight).
+func (m *UpdateMonitor) Validate(s MonitorSample) bool {
+	return m.txver.Get(nil) == s.ver && m.nin.Load() == s.in
+}
+
+// Quiesce arrives on the gate — holding off update operations that have
+// not yet started — and waits for in-flight non-transactional updates
+// to drain. The returned function releases the gate. While the gate is
+// held, only the finitely many updates already past it can still
+// commit, so a Sample/read/Validate loop under Quiesce terminates.
+func (m *UpdateMonitor) Quiesce() (release func()) {
+	release = m.gate.Arrive()
+	waitWhile(m.nonTxInFlight)
+	return release
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"htmtree/internal/htm"
+)
+
+// TestMonitorPublishesUpdateCommits verifies, for every algorithm, that
+// a completed update operation invalidates a monitor sample taken
+// before it, that non-update operations do not, and that a quiescent
+// monitor validates.
+func TestMonitorPublishesUpdateCommits(t *testing.T) {
+	t.Parallel()
+	for _, alg := range Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			mon := NewUpdateMonitor(nil)
+			tm := htm.New(htm.Config{})
+			e := New(Config{Algorithm: alg, Monitor: mon})
+			th := e.NewThread(tm.NewThread())
+			var c htm.Word
+
+			s, ok := mon.Sample()
+			if !ok {
+				t.Fatal("idle monitor reported an in-flight update")
+			}
+			if !mon.Validate(s) {
+				t.Fatal("idle monitor failed validation")
+			}
+
+			update := counterOp(&c)
+			update.Update = true
+			th.Run(update)
+			if mon.Validate(s) {
+				t.Fatalf("%s: update did not invalidate the sample", alg)
+			}
+
+			s2, ok := mon.Sample()
+			if !ok {
+				t.Fatal("monitor busy after update completed")
+			}
+			th.Run(counterOp(&c)) // not an update: must stay invisible
+			if !mon.Validate(s2) {
+				t.Fatalf("%s: non-update operation invalidated the sample", alg)
+			}
+		})
+	}
+}
+
+// TestMonitorQuiesceGate verifies that updates wait at the gate while a
+// reader holds it and proceed after release.
+func TestMonitorQuiesceGate(t *testing.T) {
+	t.Parallel()
+	mon := NewUpdateMonitor(nil)
+	tm := htm.New(htm.Config{})
+	e := New(Config{Algorithm: AlgThreePath, Monitor: mon})
+	th := e.NewThread(tm.NewThread())
+	var c htm.Word
+
+	release := mon.Quiesce()
+	s, ok := mon.Sample()
+	if !ok || !mon.Validate(s) {
+		t.Fatal("quiesced monitor not stable")
+	}
+	done := make(chan struct{})
+	go func() {
+		op := counterOp(&c)
+		op.Update = true
+		th.Run(op)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("update ran through a held quiesce gate")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if !mon.Validate(s) {
+		t.Fatal("sample invalidated while the gate was held")
+	}
+	release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("update never proceeded after gate release")
+	}
+	if mon.Validate(s) {
+		t.Fatal("released update did not invalidate the sample")
+	}
+}

@@ -26,6 +26,7 @@ type cell interface {
 	version() *atomic.Uint64
 	applyWord(v uint64)
 	applyPtr(p any)
+	applyAdd(delta uint64)
 }
 
 // acquireNonTx locks a version word for a non-transactional operation,
@@ -54,6 +55,11 @@ type Word struct {
 func (w *Word) version() *atomic.Uint64 { return &w.ver }
 func (w *Word) applyWord(v uint64)      { w.val.Store(v) }
 func (w *Word) applyPtr(any)            { panic("htm: applyPtr on Word") }
+
+// applyAdd folds a commutative increment into the cell. Only called
+// during commit while the cell's version word is locked by this
+// transaction, so the read-modify-write is race-free.
+func (w *Word) applyAdd(delta uint64) { w.val.Store(w.val.Load() + delta) }
 
 // Init sets the cell's value without version bookkeeping. It must only
 // be used on cells that are not yet reachable by other threads (e.g.
@@ -126,6 +132,28 @@ func (w *Word) CAS(tx *Tx, old, new uint64) bool {
 	return true
 }
 
+// AddAtCommit queues a commutative increment of the cell that is
+// applied atomically at the transaction's commit, against whatever value
+// the cell holds at that moment. The cell joins the write set (so the
+// commit locks it and bumps its version) but not the read set: unlike
+// Get-then-Set, two transactions that both AddAtCommit the same cell do
+// not invalidate each other's snapshots, and can only collide on the
+// brief commit-time lock. This is the primitive behind per-shard version
+// counters: every update publishes a version bump exactly at its commit
+// point without serializing whole update transactions against each
+// other.
+//
+// A cell with a pending AddAtCommit must not be read or written again in
+// the same transaction (its final value is unknowable until commit);
+// doing so panics.
+func (w *Word) AddAtCommit(tx *Tx, delta uint64) {
+	if tx == nil {
+		w.Add(delta)
+		return
+	}
+	tx.logAdd(w, delta)
+}
+
 // Add atomically adds delta (which may be negative via two's complement)
 // to the cell outside any transaction and returns the new value.
 func (w *Word) Add(delta uint64) uint64 {
@@ -146,6 +174,7 @@ type Ref[T any] struct {
 
 func (r *Ref[T]) version() *atomic.Uint64 { return &r.ver }
 func (r *Ref[T]) applyWord(uint64)        { panic("htm: applyWord on Ref") }
+func (r *Ref[T]) applyAdd(uint64)         { panic("htm: applyAdd on Ref") }
 func (r *Ref[T]) applyPtr(p any) {
 	if p == nil {
 		r.val.Store(nil)

@@ -152,6 +152,7 @@ type writeEntry struct {
 	word    uint64
 	ptr     any
 	isPtr   bool
+	isAdd   bool // word is a commutative delta applied at commit (AddAtCommit)
 	prevVer uint64
 }
 
@@ -229,6 +230,9 @@ func (tx *Tx) logWrite(c cell, word uint64, ptr any, isPtr bool) {
 	tx.maybeSpurious()
 	for i := len(tx.writes) - 1; i >= 0; i-- {
 		if tx.writes[i].c == c {
+			if tx.writes[i].isAdd {
+				panic("htm: Set on a cell with a pending AddAtCommit")
+			}
 			tx.writes[i].word = word
 			tx.writes[i].ptr = ptr
 			return
@@ -240,10 +244,34 @@ func (tx *Tx) logWrite(c cell, word uint64, ptr any, isPtr bool) {
 	tx.writes = append(tx.writes, writeEntry{c: c, word: word, ptr: ptr, isPtr: isPtr})
 }
 
+// logAdd queues a commutative increment (see Word.AddAtCommit). Repeated
+// adds to the same cell accumulate; mixing with Set is unsupported.
+func (tx *Tx) logAdd(c cell, delta uint64) {
+	tx.maybeSpurious()
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].c == c {
+			if !tx.writes[i].isAdd {
+				panic("htm: AddAtCommit on a cell already written in this transaction")
+			}
+			tx.writes[i].word += delta
+			return
+		}
+	}
+	if len(tx.writes) >= tx.th.tm.cfg.WriteCapacity {
+		tx.abort(CauseCapacity)
+	}
+	tx.writes = append(tx.writes, writeEntry{c: c, word: delta, isAdd: true})
+}
+
 // findWrite reports whether c is in the write set and returns its entry.
+// A cell with a pending commutative increment cannot be read back (its
+// final value is only known at commit).
 func (tx *Tx) findWrite(c cell) (*writeEntry, bool) {
 	for i := len(tx.writes) - 1; i >= 0; i-- {
 		if tx.writes[i].c == c {
+			if tx.writes[i].isAdd {
+				panic("htm: transactional read of a cell with a pending AddAtCommit")
+			}
 			return &tx.writes[i], true
 		}
 	}
@@ -309,9 +337,12 @@ func (tx *Tx) commit() AbortCause {
 	nv := wv << 1
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		if w.isPtr {
+		switch {
+		case w.isAdd:
+			w.c.applyAdd(w.word)
+		case w.isPtr:
 			w.c.applyPtr(w.ptr)
-		} else {
+		default:
 			w.c.applyWord(w.word)
 		}
 		w.c.version().Store(nv)

@@ -2,29 +2,51 @@
 // dictionary: the key space is split into N contiguous ranges, each
 // served by an independent inner dictionary (in this repository, a
 // template tree with its own engine, HTM context, and fallback
-// indicator). Point operations route to the owning shard; range queries
-// fan out to the overlapping shards and concatenate the per-shard
-// results, which — because the partition is contiguous and each shard
-// returns its pairs in ascending key order — yields a globally
-// key-ordered result without a merge step.
+// indicator — Brown, PODC 2017, Sections 5–6). Point operations route
+// to the owning shard; range queries fan out to the overlapping shards
+// and concatenate the per-shard results, which — because the partition
+// is contiguous and each shard returns its pairs in ascending key
+// order — yields a globally key-ordered result without a merge step.
 //
-// Sharding is the first scaling lever on top of Brown's template
-// (PODC 2017): each tree is self-contained, so partitioning multiplies
-// the fallback indicators and transactional conflict domains, and
-// update-heavy workloads that serialize on one tree's contended paths
-// spread across N of them.
+// Sharding is the first scaling lever on top of Brown's template: each
+// tree is self-contained, so partitioning multiplies the fallback
+// indicators and transactional conflict domains, and update-heavy
+// workloads that serialize on one tree's contended paths spread across
+// N of them.
 //
-// Consistency: point operations are linearizable exactly as the inner
-// dictionaries are (each key lives in exactly one shard). A range query
-// that spans shards is atomic per shard but not across shards — it
-// observes each overlapped shard at a (possibly different) point in
-// time, in ascending key order. KeySum retains its quiescent-only
-// contract.
+// # Consistency
+//
+// Point operations are linearizable exactly as the inner dictionaries
+// are (each key lives in exactly one shard). Each shard's range query
+// is atomic in isolation (it runs as a single template operation), but
+// a fan-out that spans shards observes each shard at a possibly
+// different point in time, so by default a cross-shard RangeQuery (and
+// KeySum) may return a state no single linearization point ever
+// produced.
+//
+// Config.Atomic repairs this with optimistic per-shard version
+// validation, in the spirit of the hybrid validation of Ben-David et
+// al. (Lock-Free Locks Revisited, 2022): every shard carries an
+// engine.UpdateMonitor whose counters updaters advance exactly at
+// operation commit (transactional paths bump inside the committing
+// transaction; non-transactional paths bracket the operation,
+// seqlock-style). A reader samples the monitors of every overlapping
+// shard, reads the shards, and re-validates the samples; since all
+// samples are taken before the first shard read and re-checked after
+// the last, an unvalidated-change-free window proves every shard was
+// simultaneously stable, so the concatenated result equals the state
+// at one instant — a consistent cut. Readers that keep losing the
+// optimistic race escalate after Config.RQRetries attempts: they
+// arrive on the shards' quiesce gates (the paper's Indicator
+// machinery), which holds new update operations at engine entry until
+// validation is guaranteed to succeed. RQStats reports how often
+// queries retried and escalated.
 package shard
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
@@ -33,6 +55,10 @@ import (
 
 // DefaultShards is the shard count when Config.Shards is zero.
 const DefaultShards = 8
+
+// DefaultRQRetries is the optimistic validation attempt budget before
+// an atomic cross-shard read escalates to the quiesce gates.
+const DefaultRQRetries = 8
 
 // Config describes a sharded dictionary.
 type Config struct {
@@ -43,9 +69,25 @@ type Config struct {
 	// above KeySpan are still legal: they route to the last shard, which
 	// owns everything from its lower bound upward.
 	KeySpan uint64
+	// Atomic makes cross-shard RangeQuery and KeySum atomic via
+	// per-shard version validation with quiesce escalation. It requires
+	// the New constructor to wire the provided monitor into the inner
+	// dictionary's engine (engine.Config.Monitor).
+	Atomic bool
+	// RQRetries bounds the optimistic validation attempts of an atomic
+	// cross-shard read before it escalates to quiescing the overlapping
+	// shards (default DefaultRQRetries). Ignored unless Atomic.
+	RQRetries int
+	// Gate overrides the quiesce-gate indicator installed in each
+	// shard's monitor (default: a fetch-and-increment counter; use
+	// engine.NewSNZIIndicator for the scalable variant). The factory is
+	// called once per shard. Ignored unless Atomic.
+	Gate func(i int) engine.Indicator
 	// New constructs the inner dictionary for shard i. Each call must
-	// return a fresh, independent instance.
-	New func(i int) dict.Dict
+	// return a fresh, independent instance. mon is non-nil exactly when
+	// Atomic is set, and must then be installed as the inner engine's
+	// Monitor so updates publish their commit points.
+	New func(i int, mon *engine.UpdateMonitor) dict.Dict
 }
 
 // statsSource matches the data structures that expose engine and HTM
@@ -55,10 +97,34 @@ type statsSource interface {
 	HTMStats() htm.Stats
 }
 
+// RQStats counts the outcomes of atomic cross-shard reads (RangeQuery
+// and KeySum validation loops). All counters are zero when the
+// dictionary was built without Config.Atomic.
+type RQStats struct {
+	// Attempts counts validated snapshot attempts, including the
+	// successful final attempt of every read.
+	Attempts uint64
+	// Retries counts attempts invalidated by a concurrent update (or by
+	// an update in flight at sampling time).
+	Retries uint64
+	// Escalations counts reads that exhausted the optimistic budget and
+	// fell back to holding the shards' quiesce gates.
+	Escalations uint64
+}
+
 // Dict is a sharded ordered dictionary. It implements dict.Dict.
 type Dict struct {
 	shards []dict.Dict
 	width  uint64
+
+	// mons holds one update monitor per shard when the dictionary was
+	// built with Config.Atomic; nil otherwise.
+	mons      []*engine.UpdateMonitor
+	rqRetries int
+
+	rqAttempts    atomic.Uint64
+	rqRetried     atomic.Uint64
+	rqEscalations atomic.Uint64
 
 	// checkHandles are reserved for CheckPartition: handle registration
 	// is permanent in the inner trees' engines, so a quiescent checker
@@ -89,10 +155,28 @@ func New(cfg Config) (*Dict, error) {
 		shards: make([]dict.Dict, n),
 		// Ceiling division so n*width covers the span; the last shard
 		// additionally owns [span, ∞) via routing clamp.
-		width: (span-1)/uint64(n) + 1,
+		width:     (span-1)/uint64(n) + 1,
+		rqRetries: cfg.RQRetries,
+	}
+	if d.rqRetries <= 0 {
+		d.rqRetries = DefaultRQRetries
+	}
+	if cfg.Atomic {
+		d.mons = make([]*engine.UpdateMonitor, n)
+		for i := range d.mons {
+			var gate engine.Indicator
+			if cfg.Gate != nil {
+				gate = cfg.Gate(i)
+			}
+			d.mons[i] = engine.NewUpdateMonitor(gate)
+		}
 	}
 	for i := range d.shards {
-		d.shards[i] = cfg.New(i)
+		var mon *engine.UpdateMonitor
+		if d.mons != nil {
+			mon = d.mons[i]
+		}
+		d.shards[i] = cfg.New(i, mon)
 	}
 	return d, nil
 }
@@ -102,6 +186,9 @@ func (d *Dict) NumShards() int { return len(d.shards) }
 
 // Shard returns the inner dictionary serving partition i.
 func (d *Dict) Shard(i int) dict.Dict { return d.shards[i] }
+
+// Atomic reports whether cross-shard reads are version-validated.
+func (d *Dict) Atomic() bool { return d.mons != nil }
 
 // ShardFor returns the index of the partition owning key.
 func (d *Dict) ShardFor(key uint64) int {
@@ -128,17 +215,91 @@ func (d *Dict) NewHandle() dict.Handle {
 	for i, s := range d.shards {
 		hs[i] = s.NewHandle()
 	}
-	return &handle{d: d, hs: hs}
+	h := &handle{d: d, hs: hs}
+	if d.mons != nil {
+		h.samples = make([]engine.MonitorSample, len(d.shards))
+	}
+	return h
+}
+
+// RQStats returns a snapshot of the atomic cross-shard read counters.
+// Safe to call while readers run (the snapshot is then approximate).
+func (d *Dict) RQStats() RQStats {
+	return RQStats{
+		Attempts:    d.rqAttempts.Load(),
+		Retries:     d.rqRetried.Load(),
+		Escalations: d.rqEscalations.Load(),
+	}
+}
+
+// readConsistent runs read — an idempotent function reading shards
+// [first, last] — inside the sample/read/validate loop, retrying until
+// no update invalidated the window. After d.rqRetries failed attempts
+// it escalates: it arrives on the overlapping shards' quiesce gates so
+// new update operations wait at engine entry, after which only the
+// finitely many updates already in flight can still invalidate the
+// window, and the loop terminates. samples is caller scratch with
+// capacity at least last-first+1.
+func (d *Dict) readConsistent(first, last int, samples []engine.MonitorSample, read func()) {
+	try := func() bool {
+		d.rqAttempts.Add(1)
+		samples = samples[:0]
+		for s := first; s <= last; s++ {
+			smp, ok := d.mons[s].Sample()
+			if !ok {
+				return false // a non-transactional update is mid-flight
+			}
+			samples = append(samples, smp)
+		}
+		read()
+		for s := first; s <= last; s++ {
+			if !d.mons[s].Validate(samples[s-first]) {
+				return false
+			}
+		}
+		return true
+	}
+	for attempt := 0; attempt < d.rqRetries; attempt++ {
+		if try() {
+			return
+		}
+		d.rqRetried.Add(1)
+	}
+	d.rqEscalations.Add(1)
+	// Quiesce now, release via defer: if read() panics (it runs an
+	// arbitrary inner dictionary) and the caller recovers, held gates
+	// must not leak — they would park every future update forever.
+	for s := first; s <= last; s++ {
+		defer d.mons[s].Quiesce()()
+	}
+	for !try() {
+		d.rqRetried.Add(1)
+	}
 }
 
 // KeySum returns the sum and count of keys across all shards.
-// Quiescent use only, like the inner dictionaries.
+//
+// Consistency: with Config.Atomic the result is a consistent cut — the
+// sum and count of the keys present at one instant during the call, as
+// if taken at a single linearization point — and KeySum may run
+// concurrently with updates. Without Atomic it inherits the inner
+// dictionaries' quiescent-only contract: each shard is summed at a
+// different time, and a shard's walk may itself race updaters.
 func (d *Dict) KeySum() (sum, count uint64) {
-	for _, s := range d.shards {
-		ss, sc := s.KeySum()
-		sum += ss
-		count += sc
+	read := func() {
+		sum, count = 0, 0
+		for _, s := range d.shards {
+			ss, sc := s.KeySum()
+			sum += ss
+			count += sc
+		}
 	}
+	if d.mons == nil {
+		read()
+		return sum, count
+	}
+	samples := make([]engine.MonitorSample, 0, len(d.shards))
+	d.readConsistent(0, len(d.shards)-1, samples, read)
 	return sum, count
 }
 
@@ -194,8 +355,9 @@ func (d *Dict) CheckPartition() error {
 
 // handle is a per-goroutine handle spanning all shards.
 type handle struct {
-	d  *Dict
-	hs []dict.Handle
+	d       *Dict
+	hs      []dict.Handle
+	samples []engine.MonitorSample // scratch for atomic fan-out validation
 }
 
 func (h *handle) Insert(key, val uint64) (old uint64, existed bool) {
@@ -213,14 +375,27 @@ func (h *handle) Search(key uint64) (val uint64, found bool) {
 // RangeQuery fans out to the shards overlapping [lo, hi) in partition
 // order. Each shard filters to its own keys, so handing every shard the
 // full interval and concatenating preserves global ascending key order.
+// With Config.Atomic a multi-shard fan-out is additionally wrapped in
+// the sample/read/validate loop, making the result a consistent cut; a
+// window inside a single shard is atomic either way and skips the loop.
 func (h *handle) RangeQuery(lo, hi uint64, out []dict.KV) []dict.KV {
 	if hi <= lo {
 		return out
 	}
 	first := h.d.ShardFor(lo)
 	last := h.d.ShardFor(hi - 1)
-	for s := first; s <= last; s++ {
-		out = h.hs[s].RangeQuery(lo, hi, out)
+	if h.d.mons == nil || first == last {
+		for s := first; s <= last; s++ {
+			out = h.hs[s].RangeQuery(lo, hi, out)
+		}
+		return out
 	}
+	base := len(out)
+	h.d.readConsistent(first, last, h.samples[:0], func() {
+		out = out[:base]
+		for s := first; s <= last; s++ {
+			out = h.hs[s].RangeQuery(lo, hi, out)
+		}
+	})
 	return out
 }

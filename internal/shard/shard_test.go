@@ -15,7 +15,7 @@ func newShardedBST(t *testing.T, shards int, span uint64) *Dict {
 	d, err := New(Config{
 		Shards:  shards,
 		KeySpan: span,
-		New: func(int) dict.Dict {
+		New: func(int, *engine.UpdateMonitor) dict.Dict {
 			return bst.New(bst.Config{Algorithm: engine.AlgThreePath})
 		},
 	})
@@ -27,13 +27,13 @@ func newShardedBST(t *testing.T, shards int, span uint64) *Dict {
 
 func TestConfigValidation(t *testing.T) {
 	t.Parallel()
-	if _, err := New(Config{Shards: -1, New: func(int) dict.Dict { return nil }}); err == nil {
+	if _, err := New(Config{Shards: -1, New: func(int, *engine.UpdateMonitor) dict.Dict { return nil }}); err == nil {
 		t.Fatal("accepted negative shard count")
 	}
 	if _, err := New(Config{Shards: 4}); err == nil {
 		t.Fatal("accepted nil constructor")
 	}
-	d, err := New(Config{New: func(int) dict.Dict {
+	d, err := New(Config{New: func(int, *engine.UpdateMonitor) dict.Dict {
 		return bst.New(bst.Config{Algorithm: engine.AlgNonHTM})
 	}})
 	if err != nil {
@@ -152,7 +152,7 @@ func TestStatsAggregateAcrossShards(t *testing.T) {
 	d, err := New(Config{
 		Shards:  4,
 		KeySpan: 4000,
-		New: func(int) dict.Dict {
+		New: func(int, *engine.UpdateMonitor) dict.Dict {
 			return abtree.New(abtree.Config{Algorithm: engine.AlgThreePath})
 		},
 	})
@@ -229,4 +229,188 @@ func TestConcurrentShardedUse(t *testing.T) {
 	if err := d.CheckPartition(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func newAtomicShardedBST(t *testing.T, shards int, span uint64) *Dict {
+	t.Helper()
+	d, err := New(Config{
+		Shards:  shards,
+		KeySpan: span,
+		Atomic:  true,
+		New: func(_ int, mon *engine.UpdateMonitor) dict.Dict {
+			return bst.New(bst.Config{
+				Algorithm: engine.AlgThreePath,
+				Engine:    engine.Config{Monitor: mon},
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestShardBoundaryKeys exercises range queries whose endpoints land
+// exactly on partition boundaries: first/last key of each shard,
+// windows starting or ending on a boundary, one-key windows at both
+// edges, inverted and empty windows, and the full key space.
+func TestShardBoundaryKeys(t *testing.T) {
+	t.Parallel()
+	const (
+		shards = 4
+		span   = 400 // width 100
+	)
+	for _, atomic := range []bool{false, true} {
+		atomic := atomic
+		t.Run(map[bool]string{false: "plain", true: "atomic"}[atomic], func(t *testing.T) {
+			t.Parallel()
+			var d *Dict
+			if atomic {
+				d = newAtomicShardedBST(t, shards, span)
+			} else {
+				d = newShardedBST(t, shards, span)
+			}
+			h := d.NewHandle()
+			present := make(map[uint64]bool)
+			// Populate only the keys adjacent to each boundary, plus the
+			// extremes of the legal key space.
+			for i := 0; i < shards; i++ {
+				lo, hi := d.Bounds(i)
+				for _, k := range []uint64{lo, lo + 1, hi - 2, hi - 1} {
+					if k < 1 || k > dict.MaxKey {
+						continue
+					}
+					h.Insert(k, k*3)
+					present[k] = true
+				}
+			}
+			h.Insert(dict.MaxKey, dict.MaxKey) // far beyond span: last shard
+			present[dict.MaxKey] = true
+
+			check := func(lo, hi uint64) {
+				t.Helper()
+				out := h.RangeQuery(lo, hi, nil)
+				var want []uint64
+				for k := range present {
+					if k >= lo && k < hi {
+						want = append(want, k)
+					}
+				}
+				if len(out) != len(want) {
+					t.Fatalf("RQ[%d,%d): %d pairs, want %d", lo, hi, len(out), len(want))
+				}
+				for i, kv := range out {
+					if i > 0 && out[i-1].Key >= kv.Key {
+						t.Fatalf("RQ[%d,%d) unsorted at %d", lo, hi, i)
+					}
+					if !present[kv.Key] || kv.Key < lo || kv.Key >= hi {
+						t.Fatalf("RQ[%d,%d) returned unexpected key %d", lo, hi, kv.Key)
+					}
+				}
+			}
+			for i := 0; i < shards; i++ {
+				blo, bhi := d.Bounds(i)
+				check(blo, bhi)   // exactly one shard's range
+				check(blo, blo+1) // one-key window at the lower edge
+				if bhi > blo+1 && bhi < ^uint64(0) {
+					check(bhi-1, bhi)   // one-key window at the upper edge
+					check(blo+1, bhi+1) // window crossing the upper boundary
+				}
+			}
+			check(0, span)             // whole configured span
+			check(0, dict.MaxKey+1)    // full legal key space, incl. clamp tail
+			check(span, dict.MaxKey+1) // tail only: everything routed to last shard
+			if out := h.RangeQuery(300, 200, nil); len(out) != 0 {
+				t.Fatalf("inverted window returned %d pairs", len(out))
+			}
+			if out := h.RangeQuery(250, 250, nil); len(out) != 0 {
+				t.Fatalf("empty window returned %d pairs", len(out))
+			}
+			if err := d.CheckPartition(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAtomicRangeQueryMatchesPlain checks the atomic fan-out returns the
+// same (quiescent) results as the plain one and reports its attempts.
+func TestAtomicRangeQueryMatchesPlain(t *testing.T) {
+	t.Parallel()
+	const span = 1024
+	d := newAtomicShardedBST(t, 8, span)
+	h := d.NewHandle()
+	for k := uint64(1); k <= span; k++ {
+		h.Insert(k, k+7)
+	}
+	out := h.RangeQuery(100, 900, nil)
+	if len(out) != 800 {
+		t.Fatalf("RQ[100,900): %d pairs, want 800", len(out))
+	}
+	for i, kv := range out {
+		if kv.Key != 100+uint64(i) || kv.Val != kv.Key+7 {
+			t.Fatalf("RQ[100,900)[%d] = (%d,%d)", i, kv.Key, kv.Val)
+		}
+	}
+	sum, count := d.KeySum()
+	if count != span || sum != span*(span+1)/2 {
+		t.Fatalf("KeySum = (%d,%d), want (%d,%d)", sum, count, uint64(span*(span+1)/2), span)
+	}
+	st := d.RQStats()
+	// One multi-shard RQ and one KeySum ran, both quiescent: at least two
+	// attempts, no escalations.
+	if st.Attempts < 2 {
+		t.Fatalf("RQStats.Attempts = %d, want >= 2", st.Attempts)
+	}
+	if st.Escalations != 0 || st.Retries != 0 {
+		t.Fatalf("quiescent reads retried/escalated: %+v", st)
+	}
+}
+
+// TestAtomicKeySumUnderConcurrentUpdates hammers KeySum while updaters
+// run. Every validated snapshot must balance: the sum of a consistent
+// cut of a workload that only ever inserts key k with value k and
+// deletes it again is the sum of the keys it reports present.
+func TestAtomicKeySumUnderConcurrentUpdates(t *testing.T) {
+	t.Parallel()
+	const span = 256
+	d := newAtomicShardedBST(t, 8, span)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64((g*131+i*17)%span) + 1
+				if i%2 == 0 {
+					h.Insert(k, k)
+				} else {
+					h.Delete(k)
+				}
+			}
+		}(g)
+	}
+	// A consistent cut of this workload always has sum == sum of a set
+	// of distinct keys in [1, span]; bound-check each snapshot.
+	for i := 0; i < 300; i++ {
+		sum, count := d.KeySum()
+		if count > span {
+			t.Fatalf("KeySum count = %d > %d keys in play", count, span)
+		}
+		maxSum := count * span
+		minSum := count * (count + 1) / 2
+		if sum < minSum || sum > maxSum {
+			t.Fatalf("KeySum (%d,%d) outside feasible envelope [%d,%d]",
+				sum, count, minSum, maxSum)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -30,17 +30,25 @@ type Spec struct {
 	KeySpan uint64
 	// SearchOutsideTx enables the Section 8 optimization.
 	SearchOutsideTx bool
+	// AtomicRQ makes cross-shard RangeQuery and KeySum atomic via
+	// per-shard version validation (ignored when unsharded).
+	AtomicRQ bool
 	// HTM overrides the simulated-HTM configuration.
 	HTM htm.Config
 }
 
-// Name returns a compact label, e.g. "abtree/3-path/x8". An explicit
-// Shards of 1 is labeled "/x1" so a shard sweep's baseline stays
-// distinguishable from unsharded (Shards == 0) series.
+// Name returns a compact label, e.g. "abtree/3-path/x8" or
+// "abtree/3-path/x8/atomic". An explicit Shards of 1 is labeled "/x1"
+// so a shard sweep's baseline stays distinguishable from unsharded
+// (Shards == 0) series, and atomic-RQ specs are suffixed so the two
+// consistency modes cannot be confused in CSV output.
 func (s Spec) Name() string {
 	n := s.Structure + "/" + s.Algorithm.String()
 	if s.Shards >= 1 {
 		n += fmt.Sprintf("/x%d", s.Shards)
+	}
+	if s.AtomicRQ {
+		n += "/atomic"
 	}
 	return n
 }
@@ -49,18 +57,20 @@ func (s Spec) Name() string {
 // It panics on an unknown structure name (specs are authored by sweep
 // drivers, not end users).
 func (s Spec) New() dict.Dict {
-	mk := func() dict.Dict {
+	mk := func(mon *engine.UpdateMonitor) dict.Dict {
 		switch s.Structure {
 		case "bst":
 			return bst.New(bst.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
+				Engine:          engine.Config{Monitor: mon},
 				HTM:             s.HTM,
 			})
 		case "abtree":
 			return abtree.New(abtree.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
+				Engine:          engine.Config{Monitor: mon},
 				HTM:             s.HTM,
 			})
 		default:
@@ -68,12 +78,13 @@ func (s Spec) New() dict.Dict {
 		}
 	}
 	if s.Shards <= 1 {
-		return mk()
+		return mk(nil)
 	}
 	d, err := shard.New(shard.Config{
 		Shards:  s.Shards,
 		KeySpan: s.KeySpan,
-		New:     func(int) dict.Dict { return mk() },
+		Atomic:  s.AtomicRQ,
+		New:     func(_ int, mon *engine.UpdateMonitor) dict.Dict { return mk(mon) },
 	})
 	if err != nil {
 		panic(fmt.Sprintf("workload: %v", err)) // only reachable via invalid Shards
