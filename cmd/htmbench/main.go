@@ -14,14 +14,21 @@
 //	-experiment headline  (a,b)-tree 3-path vs non-htm ratios (abstract)
 //	-experiment shardscale throughput vs shard count (beyond the paper:
 //	                      the key space partitioned across independent
-//	                      trees, each with its own engine and HTM context)
+//	                      trees, each with its own engine and HTM context),
+//	                      with pinned-vs-unpinned updater rows
 //	-experiment rqconsistency retry/escalation rate of atomic cross-shard
 //	                      range queries as update load grows (beyond the
 //	                      paper: the per-shard version validation scheme)
+//	-experiment skew      range vs hash vs adaptive shard routing under a
+//	                      Zipfian key distribution (beyond the paper: the
+//	                      router abstraction and live rebalancing)
 //	-experiment all       everything above
 //
-// The -shards flag partitions every tree in the figure experiments
-// across N shards (default 1, the paper's unsharded configuration).
+// -experiment also accepts a comma-separated list (e.g.
+// "skew,rqconsistency"). The -shards flag partitions every tree in the
+// figure experiments across N shards (default 1, the paper's unsharded
+// configuration); -router selects the shard routing policy and -zipf
+// switches the update key distribution to Zipfian with the given theta.
 package main
 
 import (
@@ -59,6 +66,8 @@ type options struct {
 	seed       uint64
 	allAlgs    bool
 	shards     int
+	router     string
+	zipf       float64
 }
 
 func main() {
@@ -72,7 +81,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|all")
+		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|skew, or all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -82,10 +91,20 @@ func run() error {
 	flag.Uint64Var(&o.seed, "seed", 1, "base random seed")
 	flag.BoolVar(&o.allAlgs, "all-algs", false, "include 2-path-ncon and scx-htm in figures")
 	flag.IntVar(&o.shards, "shards", 1, "partition each tree across N shards (1 = unsharded)")
+	flag.StringVar(&o.router, "router", "range", "shard routing policy: range|hash|adaptive")
+	flag.Float64Var(&o.zipf, "zipf", 0, "Zipfian update-key theta in (0,1); 0 = uniform keys")
 	flag.Parse()
 
 	if o.shards < 1 {
 		return fmt.Errorf("bad -shards %d", o.shards)
+	}
+	switch o.router {
+	case "range", "hash", "adaptive":
+	default:
+		return fmt.Errorf("bad -router %q (want range, hash or adaptive)", o.router)
+	}
+	if o.zipf < 0 || o.zipf >= 1 {
+		return fmt.Errorf("bad -zipf %v (want 0, or theta in (0,1))", o.zipf)
 	}
 
 	for _, part := range strings.Split(threadsFlag, ",") {
@@ -96,10 +115,28 @@ func run() error {
 		o.threads = append(o.threads, n)
 	}
 
-	exps := []string{o.experiment}
-	if o.experiment == "all" {
-		exps = []string{"fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
-			"headline", "shardscale", "rqconsistency"}
+	var exps []string
+	for _, e := range strings.Split(o.experiment, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if e == "all" {
+			exps = append(exps, "fig14", "fig16", "fig17", "pathusage", "sec8",
+				"sec10", "headline", "shardscale", "rqconsistency", "skew")
+			continue
+		}
+		exps = append(exps, e)
+	}
+	// Reject unknown names before running anything: a typo at the end
+	// of the list must not cost the minutes the earlier experiments take.
+	for _, e := range exps {
+		switch e {
+		case "fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
+			"headline", "shardscale", "rqconsistency", "skew":
+		default:
+			return fmt.Errorf("unknown experiment %q", e)
+		}
 	}
 	for _, e := range exps {
 		switch e {
@@ -121,6 +158,8 @@ func run() error {
 			shardScale(o)
 		case "rqconsistency":
 			rqConsistency(o)
+		case "skew":
+			skew(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -156,16 +195,22 @@ func specs(o options) []dsSpec {
 				Algorithm:       alg,
 				Shards:          o.shards,
 				KeySpan:         keyRange,
+				Router:          o.router,
 				SearchOutsideTx: so,
 				HTM:             hc,
 			}.New()
 		}
 	}
-	// Sharded runs are labeled "bst/x8" so their CSV rows cannot be
-	// mixed up with unsharded results; unsharded labels are unchanged.
+	// Sharded runs are labeled "bst/x8" (plus a router suffix for
+	// non-default routing) so their CSV rows cannot be mixed up with
+	// unsharded results; unsharded labels are unchanged.
 	label := func(structure string) string {
 		if o.shards > 1 {
-			return fmt.Sprintf("%s/x%d", structure, o.shards)
+			s := fmt.Sprintf("%s/x%d", structure, o.shards)
+			if o.router != "range" {
+				s += "/" + o.router
+			}
+			return s
 		}
 		return structure
 	}
@@ -178,8 +223,13 @@ func specs(o options) []dsSpec {
 }
 
 // trial runs cfg o.trials times on fresh instances from mk and returns
-// the median throughput plus the last run's full result.
+// the median throughput plus the last run's full result. The -zipf flag
+// switches every trial's update keys to the Zipfian distribution.
 func trial(o options, mk func() dict.Dict, cfg workload.Config) (float64, workload.Result) {
+	if o.zipf > 0 {
+		cfg.Dist = workload.DistZipf
+		cfg.ZipfTheta = o.zipf
+	}
 	tputs := make([]float64, 0, o.trials)
 	var last workload.Result
 	for i := 0; i < o.trials; i++ {
@@ -337,10 +387,15 @@ func sec10(o options) {
 	}
 }
 
+// shardScale sweeps the shard count and, for each sharded point, also
+// measures updaters pinned to their home shards: a pinned updater never
+// leaves its shard's key range, so its transactions never conflict with
+// another shard's traffic — the conflict-domain win partitioning exists
+// for, shown explicitly against the unpinned rows.
 func shardScale(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Println("# Shard scaling: throughput vs shard count (3-path, max threads)")
-	fmt.Println("structure,workload,shards,threads,throughput,speedup_vs_1")
+	fmt.Println("structure,workload,shards,threads,pinned,throughput,speedup_vs_1")
 	for _, ds := range specs(o) {
 		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
 			if kind == workload.Heavy && n < 2 {
@@ -354,23 +409,93 @@ func shardScale(o options) {
 					Shards:    shards,
 					KeySpan:   ds.keyRange,
 				}
-				med, _ := trial(o, spec.New, workload.Config{
-					Threads:   n,
-					Duration:  o.duration,
-					KeyRange:  ds.keyRange,
-					RQSizeMax: ds.rqMax,
-					Kind:      kind,
-				})
-				if shards == 1 {
-					base = med
+				pinnedModes := []bool{false}
+				if shards > 1 {
+					pinnedModes = append(pinnedModes, true)
 				}
-				speedup := 0.0
-				if base > 0 {
-					speedup = med / base
+				for _, pinned := range pinnedModes {
+					med, _ := trial(o, spec.New, workload.Config{
+						Threads:     n,
+						Duration:    o.duration,
+						KeyRange:    ds.keyRange,
+						RQSizeMax:   ds.rqMax,
+						Kind:        kind,
+						PinUpdaters: pinned,
+					})
+					if shards == 1 {
+						base = med
+					}
+					speedup := 0.0
+					if base > 0 {
+						speedup = med / base
+					}
+					pin := 0
+					if pinned {
+						pin = 1
+					}
+					fmt.Printf("%s,%s,%d,%d,%d,%.0f,%.2f\n",
+						ds.structure, kind, shards, n, pin, med, speedup)
 				}
-				fmt.Printf("%s,%s,%d,%d,%.0f,%.2f\n",
-					ds.structure, kind, shards, n, med, speedup)
 			}
+		}
+	}
+}
+
+// skew compares the three shard routers under a Zipfian update
+// workload: range routing collapses the hot key head onto one shard
+// (max_shard_share → 1), hash routing scatters it, and adaptive
+// routing migrates boundary slices of the hot shard's range to its
+// neighbors at runtime (the migrations and keys_moved columns show the
+// rebalancer working, max_shard_share its convergence toward 1/shards).
+// max_shard_share is the router-quality signal independent of the host:
+// on multi-core machines the collapsed share is exactly the fraction of
+// the workload re-serialized onto one tree's conflict domain, and the
+// throughput column shows hash/adaptive pulling ahead of range; on a
+// single core only the share separates the routers.
+func skew(o options) {
+	shards := o.shards
+	if shards < 2 {
+		shards = 8 // the experiment is about spreading a hot shard
+	}
+	theta := o.zipf
+	if theta == 0 {
+		theta = 0.99
+	}
+	n := o.threads[len(o.threads)-1]
+	fmt.Printf("# Skew: shard routing under Zipfian updates (3-path, %d shards, theta %.2f, light workload)\n",
+		shards, theta)
+	fmt.Println("structure,router,shards,threads,throughput,speedup_vs_range,max_shard_share,migrations,keys_moved")
+	for _, ds := range specs(o) {
+		var base float64
+		for _, router := range []string{"range", "hash", "adaptive"} {
+			spec := workload.Spec{
+				Structure: ds.structure,
+				Algorithm: engine.AlgThreePath,
+				Shards:    shards,
+				KeySpan:   ds.keyRange,
+				Router:    router,
+				// Evaluate often enough that rebalancing converges
+				// within a short measurement window.
+				RebalanceCheckOps: 512,
+			}
+			med, res := trial(o, spec.New, workload.Config{
+				Threads:   n,
+				Duration:  o.duration,
+				KeyRange:  ds.keyRange,
+				Kind:      workload.Light,
+				Dist:      workload.DistZipf,
+				ZipfTheta: theta,
+			})
+			if router == "range" {
+				base = med
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = med / base
+			}
+			fmt.Printf("%s,%s,%d,%d,%.0f,%.2f,%.3f,%d,%d\n",
+				ds.structure, router, shards, n, med, speedup,
+				res.MaxShardShare, res.Rebalance.Migrations, res.Rebalance.KeysMoved)
 		}
 	}
 }
@@ -409,6 +534,7 @@ func rqConsistency(o options) {
 					Algorithm: engine.AlgThreePath,
 					Shards:    shards,
 					KeySpan:   keyRange,
+					Router:    o.router,
 					AtomicRQ:  true,
 				}
 				d := spec.New()

@@ -66,6 +66,34 @@ func Algorithms() []Algorithm {
 // reserved for internal sentinels).
 const MaxKey = dict.MaxKey
 
+// RouterKind names a shard-routing policy for sharded trees.
+type RouterKind string
+
+// Shard routing policies.
+const (
+	// RouterRange is the default contiguous key-range split: shard i
+	// owns [i*width, (i+1)*width). Fast, order-preserving fan-outs, but
+	// a skewed (Zipfian / hot-range) workload collapses onto the shard
+	// owning the hot keys.
+	RouterRange RouterKind = "range"
+	// RouterHash scatters keys across shards by a mixing hash:
+	// skew-oblivious, but every multi-key RangeQuery must visit all
+	// shards and merge-sort the results.
+	RouterHash RouterKind = "hash"
+	// RouterAdaptive is the range router plus live rebalancing: the
+	// tree tracks per-shard operation counts and, when one shard runs
+	// disproportionately hot, migrates a boundary slice of its key range
+	// to a neighbor shard by briefly quiescing exactly the two affected
+	// shards and swapping the routing table. Implies the
+	// AtomicRangeQueries read-validation protocol.
+	RouterAdaptive RouterKind = "adaptive"
+)
+
+// RouterKinds lists every routing policy in presentation order.
+func RouterKinds() []RouterKind {
+	return []RouterKind{RouterRange, RouterHash, RouterAdaptive}
+}
+
 // KV is a key-value pair returned by range queries.
 type KV struct {
 	Key, Val uint64
@@ -113,6 +141,22 @@ type Config struct {
 	// workload's key range so the shards share load evenly; larger keys
 	// remain legal and route to the last shard.
 	ShardKeySpan uint64
+	// Router selects how keys map to shards on a sharded tree (default
+	// RouterRange, the original contiguous split). RouterHash scatters
+	// keys (skew-oblivious, all-shard range queries); RouterAdaptive
+	// adds live key-range rebalancing to the range split. Ignored by
+	// unsharded trees.
+	Router RouterKind
+	// RebalanceCheckOps is the number of point operations a handle
+	// performs between shard-imbalance evaluations with RouterAdaptive
+	// (default 1024). Smaller values react to skew faster but evaluate
+	// more often.
+	RebalanceCheckOps int
+	// RebalanceRatio triggers a migration when the busiest shard
+	// performed more than RebalanceRatio times the per-shard mean of
+	// recent operations (default 1.5). Values in (0, 1] force a
+	// migration on every evaluation — useful in tests.
+	RebalanceRatio float64
 	// AtomicRangeQueries makes RangeQuery and KeySum on a sharded tree
 	// atomic across shards: every shard carries a version/epoch monitor
 	// that updaters advance exactly at operation commit, and a
@@ -237,9 +281,9 @@ func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 
 // newSharded partitions the key space across cfg.Shards instances built
 // by mk, wiring aggregate stats and invariant checking through the
-// shard layer. With AtomicRangeQueries each inner tree's engine gets
-// the shard's update monitor, and the SNZI preference carries over to
-// the quiesce gates.
+// shard layer. With AtomicRangeQueries or RouterAdaptive each inner
+// tree's engine gets the shard's update monitor, and the SNZI
+// preference carries over to the quiesce gates.
 func newSharded(cfg Config, mk func(mon *engine.UpdateMonitor) (*Tree, error)) (*Tree, error) {
 	var inner []*Tree
 	var ctorErr error
@@ -257,6 +301,27 @@ func newSharded(cfg Config, mk func(mon *engine.UpdateMonitor) (*Tree, error)) (
 			inner = append(inner, t)
 			return t.d
 		},
+	}
+	switch cfg.Router {
+	case "", RouterRange:
+		// The default contiguous split, built by the shard layer.
+	case RouterHash:
+		n := cfg.Shards
+		if n == 0 {
+			n = shard.DefaultShards
+		}
+		r, rerr := shard.NewHashRouter(n)
+		if rerr != nil {
+			return nil, rerr
+		}
+		scfg.Router = r
+	case RouterAdaptive:
+		scfg.Rebalance = &shard.RebalanceConfig{
+			CheckOps: cfg.RebalanceCheckOps,
+			Ratio:    cfg.RebalanceRatio,
+		}
+	default:
+		return nil, fmt.Errorf("htmtree: unknown router %q", cfg.Router)
 	}
 	if cfg.UseSNZI {
 		scfg.Gate = func(int) engine.Indicator { return engine.NewSNZIIndicator() }
@@ -374,6 +439,14 @@ type RangeQueryStats struct {
 	Attempts, Retries, Escalations uint64
 }
 
+// RebalanceStats counts live shard-rebalancing activity (RouterAdaptive).
+type RebalanceStats struct {
+	// Checks counts imbalance evaluations, Migrations the boundary
+	// migrations performed, and KeysMoved the keys moved between shards
+	// across all migrations.
+	Checks, Migrations, KeysMoved uint64
+}
+
 // Stats is a snapshot of a tree's execution statistics: how many
 // operations completed on each path (Section 7.2 of the paper) and how
 // transactions committed/aborted (Figure 16).
@@ -385,8 +458,12 @@ type Stats struct {
 	// AbortCauses breaks aborts down as "path/cause" -> count.
 	AbortCauses map[string]uint64
 	// Range reports atomic cross-shard read outcomes; all zero unless
-	// the tree is sharded with AtomicRangeQueries.
+	// the tree is sharded with AtomicRangeQueries (or RouterAdaptive,
+	// which implies the same read validation).
 	Range RangeQueryStats
+	// Rebalance reports live shard-rebalancing activity; all zero
+	// unless the tree is sharded with RouterAdaptive.
+	Rebalance RebalanceStats
 }
 
 // Stats returns a snapshot of the tree's statistics. Safe to call while
@@ -421,6 +498,12 @@ func (t *Tree) Stats() Stats {
 			Attempts:    rs.Attempts,
 			Retries:     rs.Retries,
 			Escalations: rs.Escalations,
+		}
+		rb := sd.RebalanceStats()
+		s.Rebalance = RebalanceStats{
+			Checks:     rb.Checks,
+			Migrations: rb.Migrations,
+			KeysMoved:  rb.KeysMoved,
 		}
 	}
 	return s

@@ -119,6 +119,75 @@ func TestFacadeShardedTrees(t *testing.T) {
 	if _, err := htmtree.NewShardedABTree(htmtree.Config{Shards: -3}); err == nil {
 		t.Fatal("NewShardedABTree accepted a negative shard count")
 	}
+	if _, err := htmtree.NewShardedBST(htmtree.Config{Router: "bogus"}); err == nil {
+		t.Fatal("NewShardedBST accepted an unknown router")
+	}
+	if _, err := htmtree.NewShardedBST(htmtree.Config{Router: htmtree.RouterAdaptive, RebalanceRatio: -1}); err == nil {
+		t.Fatal("NewShardedBST accepted a negative rebalance ratio")
+	}
+}
+
+// TestFacadeRouters drives the sharded facade under every routing
+// policy: operations behave identically, and the adaptive router
+// surfaces its rebalancing counters through Stats.
+func TestFacadeRouters(t *testing.T) {
+	t.Parallel()
+	for _, router := range htmtree.RouterKinds() {
+		router := router
+		t.Run(string(router), func(t *testing.T) {
+			t.Parallel()
+			tree, err := htmtree.NewShardedBST(htmtree.Config{
+				Algorithm:         htmtree.ThreePath,
+				Shards:            4,
+				ShardKeySpan:      1 << 12,
+				Router:            router,
+				RebalanceCheckOps: 64,
+				RebalanceRatio:    0.01,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := tree.NewHandle()
+			var wantSum, wantCount uint64
+			for i := 0; i < 20000; i++ {
+				k := uint64(i%600) + 1 // skewed into the low shard
+				if i%3 == 2 {
+					if _, existed := h.Delete(k); existed {
+						wantSum -= k
+						wantCount--
+					}
+				} else {
+					if _, existed := h.Insert(k, k); !existed {
+						wantSum += k
+						wantCount++
+					}
+				}
+			}
+			sum, count := tree.KeySum()
+			if sum != wantSum || count != wantCount {
+				t.Fatalf("KeySum = (%d,%d), want (%d,%d)", sum, count, wantSum, wantCount)
+			}
+			out := h.RangeQuery(1, 601, nil)
+			if uint64(len(out)) != count {
+				t.Fatalf("RangeQuery returned %d pairs, want %d", len(out), count)
+			}
+			for i := 1; i < len(out); i++ {
+				if out[i-1].Key >= out[i].Key {
+					t.Fatalf("fan-out unsorted at %d under %s routing", i, router)
+				}
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			st := tree.Stats()
+			if router == htmtree.RouterAdaptive && st.Rebalance.Migrations == 0 {
+				t.Fatalf("adaptive tree reported no migrations: %+v", st.Rebalance)
+			}
+			if router != htmtree.RouterAdaptive && (st.Rebalance.Migrations != 0 || st.Rebalance.Checks != 0) {
+				t.Fatalf("non-adaptive tree reported rebalancing: %+v", st.Rebalance)
+			}
+		})
+	}
 }
 
 func TestFacadeRejectsBadConfig(t *testing.T) {

@@ -224,6 +224,11 @@ func (t *Tree) newHandle() *Handle {
 	return h
 }
 
+// SetGateBypass exempts this handle's updates from the update monitor's
+// quiesce gate (engine.Thread.SetGateBypass). Used by the shard layer's
+// key migration, which operates on the tree while holding the gate.
+func (h *Handle) SetGateBypass(bypass bool) { h.e.SetGateBypass(bypass) }
+
 // KeySum returns the sum and count of keys. Quiescent use only.
 func (t *Tree) KeySum() (sum, count uint64) {
 	var walk func(n *Node)

@@ -149,6 +149,11 @@ func (t *Tree) newHandle() *Handle {
 	return h
 }
 
+// SetGateBypass exempts this handle's updates from the update monitor's
+// quiesce gate (engine.Thread.SetGateBypass). Used by the shard layer's
+// key migration, which operates on the tree while holding the gate.
+func (h *Handle) SetGateBypass(bypass bool) { h.e.SetGateBypass(bypass) }
+
 // childRef returns the child field of p that a search for key follows.
 func childRef(p *Node, key uint64) *htm.Ref[Node] {
 	if key < p.key {

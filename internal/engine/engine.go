@@ -210,7 +210,22 @@ type Thread struct {
 
 	eng *Engine
 	ops [4]uint64 // completions indexed by htm.PathKind
+
+	// gateBypass exempts this thread's update operations from the
+	// monitor's quiesce gate and in-flight accounting (commit publication
+	// is unaffected). Set on the shard layer's migration handles, whose
+	// operations run while the migrator itself holds the gate.
+	gateBypass bool
 }
+
+// SetGateBypass exempts the thread's update operations from the update
+// monitor's quiesce gate and in-flight accounting. Their commit points
+// are still published (version bumps, non-transactional brackets), so
+// optimistic readers validate against them as usual. Intended solely
+// for the shard layer's key migration, which mutates two shards while
+// holding their gates; bypassing threads must be externally serialized
+// against gate holders.
+func (th *Thread) SetGateBypass(bypass bool) { th.gateBypass = bypass }
 
 // NewThread registers a new engine thread wrapping the given HTM thread.
 func (e *Engine) NewThread(h *htm.Thread) *Thread {
@@ -322,8 +337,10 @@ func (th *Thread) PrepareOp(op Op) Op {
 // operation's own transaction (pre-wrapped by PrepareOp, or wrapped
 // here for unprepared ops), non-transactional paths (the lock-free
 // fallback, TLE's locked body, scx-htm) are bracketed by its
-// ingress/egress counters, and the operation waits at the monitor's
-// quiesce gate before starting.
+// ingress/egress counters, and the operation registers as in flight and
+// waits at the monitor's quiesce gate before starting (threads with
+// SetGateBypass skip the gate and the in-flight accounting, not the
+// commit publication).
 func (th *Thread) Run(op Op) htm.PathKind {
 	e := th.eng
 	mon := e.cfg.Monitor
@@ -331,7 +348,10 @@ func (th *Thread) Run(op Op) htm.PathKind {
 		mon = nil
 	}
 	if mon != nil {
-		mon.waitGate()
+		if !th.gateBypass {
+			mon.enter()
+			defer mon.exit()
+		}
 		op = th.PrepareOp(op) // no-op for ops prepared at construction
 	}
 	switch e.cfg.Algorithm {

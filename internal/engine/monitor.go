@@ -34,7 +34,12 @@ import (
 // abstraction as the paper's fallback-presence indicator — that lets a
 // reader that keeps losing the optimistic race briefly hold off new
 // update operations (they wait at Thread.Run entry) so validation is
-// guaranteed to succeed after the in-flight operations drain.
+// guaranteed to succeed after the in-flight operations drain. The
+// sharding layer's live key migration uses the same gate as a brief
+// two-shard mutual exclusion: Quiesce drains every in-flight update
+// (transactional or not, tracked by the inflight counter), after which
+// the holder may mutate the shard through gate-bypassing handles while
+// Bracket keeps concurrent optimistic readers invalidated.
 type UpdateMonitor struct {
 	// txver counts updates committed on transactional paths. Bumped via
 	// AddAtCommit so concurrent updaters only collide on the commit-time
@@ -48,6 +53,16 @@ type UpdateMonitor struct {
 	// concurrent transactions process-wide into full read-set
 	// validation on every bracketed update.
 	nin, nout atomic.Uint64
+	// inflight counts update operations between engine entry and
+	// completion on every path (transactional or not), but only when
+	// fullDrain is set: the two read-modify-writes per update it costs
+	// are a per-shard serialization point, so plain Atomic dictionaries
+	// keep the original read-only gate check and only rebalancing
+	// dictionaries — whose migrations need to know that *no* update at
+	// all is in flight — pay for the accounting. With fullDrain, Quiesce
+	// waits for the counter to reach zero.
+	inflight  atomic.Int64
+	fullDrain bool
 	// gate holds off new update operations while a reader quiesces the
 	// shard. Readers Arrive/Depart; updaters wait while it is nonzero.
 	gate Indicator
@@ -78,11 +93,55 @@ func (m *UpdateMonitor) nonTxInFlight() bool {
 	return m.nin.Load() != m.nout.Load()
 }
 
-// waitGate blocks while a reader holds the quiesce gate. Called by the
-// engine before an update operation starts.
-func (m *UpdateMonitor) waitGate() {
-	waitWhile(func() bool { return m.gate.Nonzero(nil) })
+// EnableFullDrain switches the monitor to full in-flight accounting
+// (see the inflight field). Must be called before the monitor is used;
+// the shard layer sets it on rebalancing dictionaries, whose
+// migrations need Quiesce to guarantee exclusive update access.
+func (m *UpdateMonitor) EnableFullDrain() { m.fullDrain = true }
+
+// enter admits an update operation: it waits out the quiesce gate and,
+// under EnableFullDrain, registers the operation as in flight. The
+// in-flight counter is raised before the gate is checked, so a Quiesce
+// that observes the counter at zero after arriving on the gate knows
+// no update can slip past it (an updater that raced the arrival either
+// registered first — and Quiesce waits for it — or sees the gate and
+// backs off). Called by the engine before an update operation starts;
+// exit must be called when the operation completes.
+func (m *UpdateMonitor) enter() {
+	if !m.fullDrain {
+		waitWhile(func() bool { return m.gate.Nonzero(nil) })
+		return
+	}
+	for {
+		m.inflight.Add(1)
+		if !m.gate.Nonzero(nil) {
+			return
+		}
+		m.inflight.Add(-1)
+		waitWhile(func() bool { return m.gate.Nonzero(nil) })
+	}
 }
+
+// exit marks an update admitted by enter as complete.
+func (m *UpdateMonitor) exit() {
+	if m.fullDrain {
+		m.inflight.Add(-1)
+	}
+}
+
+// Enter admits an update operation from outside the engine: the shard
+// layer's rebalancing dictionaries route a point operation, Enter the
+// target shard's monitor, and re-check the routing table before
+// dispatching — the admission pins the shard (a migration's Quiesce
+// waits for it), making route-and-admit atomic. The corresponding
+// engine-level admission must then be bypassed
+// (Thread.SetGateBypass), or a reader quiescing the gate between the
+// two admissions would deadlock against the second. Exit must be
+// called when the operation completes.
+func (m *UpdateMonitor) Enter() { m.enter() }
+
+// Exit marks an update admitted by Enter as complete.
+func (m *UpdateMonitor) Exit() { m.exit() }
 
 // MonitorSample is a reader's snapshot of a monitor, taken with Sample
 // and checked with Validate.
@@ -118,12 +177,35 @@ func (m *UpdateMonitor) Validate(s MonitorSample) bool {
 }
 
 // Quiesce arrives on the gate — holding off update operations that have
-// not yet started — and waits for in-flight non-transactional updates
-// to drain. The returned function releases the gate. While the gate is
-// held, only the finitely many updates already past it can still
-// commit, so a Sample/read/Validate loop under Quiesce terminates.
+// not yet started — and waits for in-flight updates to drain. The
+// returned function releases the gate.
+//
+// Under EnableFullDrain every admitted update (on any path) is waited
+// out: after Quiesce returns, no update is in flight and none can
+// start until release, so a Sample/read/Validate pass is guaranteed to
+// succeed and a writer holding the gate (the shard layer's key
+// migration) has exclusive update access through gate-bypassing
+// handles. Without it only non-transactional updates are drained; the
+// finitely many transactional updates already past the gate can still
+// commit, so a Sample/read/Validate loop under Quiesce terminates but
+// may retry a bounded number of times.
 func (m *UpdateMonitor) Quiesce() (release func()) {
 	release = m.gate.Arrive()
-	waitWhile(m.nonTxInFlight)
+	if m.fullDrain {
+		waitWhile(func() bool { return m.inflight.Load() != 0 })
+	} else {
+		waitWhile(m.nonTxInFlight)
+	}
 	return release
+}
+
+// Bracket registers an externally driven multi-operation update (the
+// shard layer's key migration) exactly like a non-transactional update
+// path: while the returned done function has not been called, readers
+// sampling the monitor observe an update in flight and retry, and a
+// sample taken before Bracket fails validation afterwards. Bracket does
+// not wait on the gate; callers are expected to hold it (via Quiesce).
+func (m *UpdateMonitor) Bracket() (done func()) {
+	m.beginNonTx()
+	return m.endNonTx
 }

@@ -90,3 +90,91 @@ func TestMonitorQuiesceGate(t *testing.T) {
 		t.Fatal("released update did not invalidate the sample")
 	}
 }
+
+// TestMonitorGateBypass verifies a thread with SetGateBypass runs its
+// updates straight through a held quiesce gate — the property the shard
+// layer's migration relies on — while still publishing their commits.
+func TestMonitorGateBypass(t *testing.T) {
+	t.Parallel()
+	mon := NewUpdateMonitor(nil)
+	tm := htm.New(htm.Config{})
+	e := New(Config{Algorithm: AlgThreePath, Monitor: mon})
+	th := e.NewThread(tm.NewThread())
+	th.SetGateBypass(true)
+	var c htm.Word
+
+	release := mon.Quiesce()
+	defer release()
+	s, ok := mon.Sample()
+	if !ok {
+		t.Fatal("quiesced monitor reported an in-flight update")
+	}
+	done := make(chan struct{})
+	go func() {
+		op := counterOp(&c)
+		op.Update = true
+		th.Run(op)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("bypassing update blocked at a held gate")
+	}
+	if mon.Validate(s) {
+		t.Fatal("bypassing update did not publish its commit")
+	}
+}
+
+// TestMonitorQuiesceDrainsAllPaths verifies that, under
+// EnableFullDrain, Quiesce waits for an in-flight update on a
+// transactional path, not only for bracketed non-transactional ones:
+// the update is admitted (enter) before the gate arrives, so Quiesce
+// must not return until it completes.
+func TestMonitorQuiesceDrainsAllPaths(t *testing.T) {
+	t.Parallel()
+	mon := NewUpdateMonitor(nil)
+	mon.EnableFullDrain()
+	mon.enter() // simulate an update admitted but not yet complete
+
+	quiesced := make(chan struct{})
+	go func() {
+		release := mon.Quiesce()
+		close(quiesced)
+		release()
+	}()
+	select {
+	case <-quiesced:
+		t.Fatal("Quiesce returned while an admitted update was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	mon.exit()
+	select {
+	case <-quiesced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Quiesce never returned after the update drained")
+	}
+}
+
+// TestMonitorBracket verifies Bracket behaves like a non-transactional
+// update in flight: samples fail while open, and a sample taken before
+// fails validation afterwards.
+func TestMonitorBracket(t *testing.T) {
+	t.Parallel()
+	mon := NewUpdateMonitor(nil)
+	s, ok := mon.Sample()
+	if !ok {
+		t.Fatal("idle monitor reported an in-flight update")
+	}
+	done := mon.Bracket()
+	if _, ok := mon.Sample(); ok {
+		t.Fatal("Sample succeeded while a bracket was open")
+	}
+	done()
+	if _, ok := mon.Sample(); !ok {
+		t.Fatal("Sample failed after the bracket closed")
+	}
+	if mon.Validate(s) {
+		t.Fatal("pre-bracket sample validated across the bracket")
+	}
+}

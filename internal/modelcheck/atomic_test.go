@@ -139,14 +139,25 @@ func checkRing(keys []uint64) error {
 
 // runAtomicityHarness starts the writers, then runs iters reader
 // checks, returning the observed cross-shard atomicity violations.
-func runAtomicityHarness(t *testing.T, atomic bool, iters int) []error {
+// router selects the shard routing policy; RouterAdaptive runs with
+// forcing knobs so boundary migrations fire continuously underneath
+// the checked atomic reads. The invariants are router-independent:
+// every consistent cut satisfies them regardless of which shard owns
+// which key at which moment.
+func runAtomicityHarness(t *testing.T, router htmtree.RouterKind, atomic bool, iters int) []error {
 	t.Helper()
-	tree, err := htmtree.NewShardedBST(htmtree.Config{
+	cfg := htmtree.Config{
 		Algorithm:          htmtree.ThreePath,
 		Shards:             8,
 		ShardKeySpan:       atomicSpan,
+		Router:             router,
 		AtomicRangeQueries: atomic,
-	})
+	}
+	if router == htmtree.RouterAdaptive {
+		cfg.RebalanceCheckOps = 64
+		cfg.RebalanceRatio = 0.01 // migrate on any imbalance
+	}
+	tree, err := htmtree.NewShardedBST(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,26 +281,46 @@ func runAtomicityHarness(t *testing.T, atomic bool, iters int) []error {
 	}
 	close(stop)
 	wg.Wait()
+	if router == htmtree.RouterAdaptive {
+		st := tree.Stats().Rebalance
+		if st.Migrations == 0 {
+			t.Errorf("adaptive harness performed no migrations: atomic reads were never raced against a boundary move (%+v)", st)
+		} else {
+			t.Logf("adaptive: %d migrations (%d keys) concurrent with atomic reads", st.Migrations, st.KeysMoved)
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Errorf("post-migration invariants: %v", err)
+		}
+	}
 	return violations
 }
 
 // TestCrossShardRangeQueryAtomicity runs concurrent updaters against
 // cross-shard range queries and key sums with AtomicRangeQueries
-// enabled: every result must match some prefix of the writers'
-// sequential histories. Running the same harness with validation
-// disabled (see TestCrossShardTearingWithoutValidation) demonstrates
-// the violations the version scheme eliminates.
+// enabled, for every shard router: every result must match some prefix
+// of the writers' sequential histories. The adaptive variant
+// additionally forces live boundary migrations under the readers — the
+// scenario the two-shard quiesce protocol must keep atomic. Running
+// the same harness with validation disabled (see
+// TestCrossShardTearingWithoutValidation) demonstrates the violations
+// the version scheme eliminates.
 func TestCrossShardRangeQueryAtomicity(t *testing.T) {
 	t.Parallel()
-	iters := 400
-	if testing.Short() {
-		iters = 80
-	}
-	if vs := runAtomicityHarness(t, true, iters); len(vs) > 0 {
-		for _, v := range vs {
-			t.Error(v)
-		}
-		t.Fatalf("%d cross-shard atomicity violations with validation enabled", len(vs))
+	for _, router := range htmtree.RouterKinds() {
+		router := router
+		t.Run(string(router), func(t *testing.T) {
+			t.Parallel()
+			iters := 400
+			if testing.Short() {
+				iters = 80
+			}
+			if vs := runAtomicityHarness(t, router, true, iters); len(vs) > 0 {
+				for _, v := range vs {
+					t.Error(v)
+				}
+				t.Fatalf("%d cross-shard atomicity violations with validation enabled", len(vs))
+			}
+		})
 	}
 }
 
@@ -303,7 +334,7 @@ func TestCrossShardTearingWithoutValidation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("control experiment; skipped in -short")
 	}
-	vs := runAtomicityHarness(t, false, 400)
+	vs := runAtomicityHarness(t, htmtree.RouterRange, false, 400)
 	if len(vs) == 0 {
 		t.Skip("no tearing observed this run (scheduler too serial to demonstrate)")
 	}

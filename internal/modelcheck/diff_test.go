@@ -9,19 +9,24 @@ import (
 )
 
 // combo is one point of the differential sweep: every template
-// algorithm, both structures, unsharded and 8-way sharded.
+// algorithm, both structures, unsharded and 8-way sharded — the latter
+// under all three shard routers. Adaptive combos run with forcing
+// knobs (tiny evaluation windows, trigger on any imbalance), so live
+// boundary migrations interleave with the checked operation stream.
 type combo struct {
 	structure string
 	algorithm htmtree.Algorithm
 	shards    int
+	router    htmtree.RouterKind
 }
 
 func allCombos() []combo {
 	var cs []combo
 	for _, structure := range []string{"bst", "abtree"} {
 		for _, alg := range htmtree.Algorithms() {
-			for _, shards := range []int{1, 8} {
-				cs = append(cs, combo{structure, alg, shards})
+			cs = append(cs, combo{structure, alg, 1, ""})
+			for _, router := range htmtree.RouterKinds() {
+				cs = append(cs, combo{structure, alg, 8, router})
 			}
 		}
 	}
@@ -29,7 +34,11 @@ func allCombos() []combo {
 }
 
 func (c combo) name() string {
-	return fmt.Sprintf("%s/%s/x%d", c.structure, c.algorithm, c.shards)
+	n := fmt.Sprintf("%s/%s/x%d", c.structure, c.algorithm, c.shards)
+	if c.shards > 1 {
+		n += "/" + string(c.router)
+	}
+	return n
 }
 
 func (c combo) build(t *testing.T, keySpan uint64) *htmtree.Tree {
@@ -38,6 +47,11 @@ func (c combo) build(t *testing.T, keySpan uint64) *htmtree.Tree {
 		Algorithm:    c.algorithm,
 		Shards:       c.shards,
 		ShardKeySpan: keySpan,
+		Router:       c.router,
+	}
+	if c.router == htmtree.RouterAdaptive {
+		cfg.RebalanceCheckOps = 64
+		cfg.RebalanceRatio = 0.01 // force migrations on any imbalance
 	}
 	var (
 		tree *htmtree.Tree
@@ -65,6 +79,12 @@ func (c combo) build(t *testing.T, keySpan uint64) *htmtree.Tree {
 // pairs in ascending key order (for sharded trees this exercises
 // fan-out windows that land inside one shard, cross a boundary, and
 // span all shards); and the final key-sum and invariants must hold.
+//
+// Point-op keys are drawn with a quadratic bias toward the low end of
+// the key space (product of two uniforms), so the adaptive combos'
+// forced rebalancer sees genuine skew and migrates boundaries in the
+// middle of the checked stream — the differential then also proves
+// migrations preserve op-for-op agreement.
 func TestDifferentialAllConfigurations(t *testing.T) {
 	t.Parallel()
 	const (
@@ -80,7 +100,7 @@ func TestDifferentialAllConfigurations(t *testing.T) {
 			model := NewModel()
 			rng := rand.New(rand.NewSource(0x5eed))
 			for i := 0; i < numOps; i++ {
-				k := uint64(rng.Intn(keySpan)) + 1
+				k := uint64(rng.Intn(keySpan))*uint64(rng.Intn(keySpan))/keySpan + 1
 				switch rng.Intn(8) {
 				case 0, 1, 2:
 					v := uint64(rng.Intn(1 << 30))
@@ -133,6 +153,14 @@ func TestDifferentialAllConfigurations(t *testing.T) {
 			}
 			if err := tree.CheckInvariants(); err != nil {
 				t.Fatal(err)
+			}
+			if c.router == htmtree.RouterAdaptive {
+				st := tree.Stats().Rebalance
+				if st.Migrations == 0 {
+					t.Fatalf("adaptive combo performed no migrations: the differential did not cover live rebalancing (%+v)", st)
+				}
+				t.Logf("adaptive: %d migrations, %d keys moved interleaved with the checked stream",
+					st.Migrations, st.KeysMoved)
 			}
 		})
 	}

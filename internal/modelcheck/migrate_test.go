@@ -1,0 +1,147 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"htmtree"
+)
+
+// TestRaceMigrationsWithPointOps stresses live key-range rebalancing
+// under the race detector: updater goroutines hammer keys concentrated
+// around one shard boundary (most traffic in the two shards a
+// migration will pick as donor and receiver) with forcing knobs that
+// fire migrations continuously, so boundary moves constantly
+// interleave with point operations on both affected shards — the
+// route/admit/migrate synchronization where an unsynchronized access
+// or a stale-routing window would hide. Per-thread key-sum deltas and
+// the partition invariant must hold at the end. Sized for
+// `go test -race -short ./...`.
+func TestRaceMigrationsWithPointOps(t *testing.T) {
+	t.Parallel()
+	const (
+		goroutines = 4
+		shards     = 4
+		keySpan    = 512 // width 128; hot traffic around the 128 boundary
+	)
+	opsPerG := 30000
+	if testing.Short() {
+		opsPerG = 8000
+	}
+	for _, structure := range []string{"bst", "abtree"} {
+		structure := structure
+		t.Run(structure, func(t *testing.T) {
+			t.Parallel()
+			cfg := htmtree.Config{
+				Algorithm:         htmtree.ThreePath,
+				Shards:            shards,
+				ShardKeySpan:      keySpan,
+				Router:            htmtree.RouterAdaptive,
+				RebalanceCheckOps: 64,
+				RebalanceRatio:    0.01, // migrate on any imbalance
+			}
+			var (
+				tree *htmtree.Tree
+				err  error
+			)
+			if structure == "bst" {
+				tree, err = htmtree.NewShardedBST(cfg)
+			} else {
+				tree, err = htmtree.NewShardedABTree(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sentinel keys (multiples of 31, which the updaters skip):
+			// inserted once, never deleted, spread across every shard.
+			// A Search for one must succeed at every instant, including
+			// mid-migration — a stale-routing read of a donor shard
+			// after its keys moved would miss. Their mass is part of
+			// the final key-sum accounting below.
+			var sentSum, sentCount int64
+			{
+				h := tree.NewHandle()
+				for k := uint64(31); k < keySpan; k += 31 {
+					h.Insert(k, k)
+					sentSum += int64(k)
+					sentCount++
+				}
+			}
+			var wg sync.WaitGroup
+			sums := make([]int64, goroutines)
+			counts := make([]int64, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					h := tree.NewHandle()
+					var out []htmtree.KV
+					for i := 0; i < opsPerG; i++ {
+						// 3 of 4 ops land within ±64 of the shard 0/1
+						// boundary; the rest roam the whole span so the
+						// other boundaries migrate too. Sentinels
+						// (multiples of 31) are left alone.
+						var k uint64
+						if i%4 != 0 {
+							k = uint64(64+(g*7919+i*31)%128) + 1
+						} else {
+							k = uint64((g*104729+i*131)%keySpan) + 1
+						}
+						if k%31 == 0 {
+							k++
+						}
+						if i%64 == 0 {
+							s := uint64((i/64)%int(keySpan/31))*31 + 31
+							if v, found := h.Search(s); !found || v != s {
+								panic(fmt.Sprintf("sentinel %d lost mid-migration: (%d,%v)", s, v, found))
+							}
+						}
+						switch i % 8 {
+						case 0, 1, 2:
+							if _, existed := h.Insert(k, k); !existed {
+								sums[g] += int64(k)
+								counts[g]++
+							}
+						case 3, 4, 5:
+							if _, existed := h.Delete(k); existed {
+								sums[g] -= int64(k)
+								counts[g]--
+							}
+						case 6:
+							if v, found := h.Search(k); found && v != k {
+								panic(fmt.Sprintf("Search(%d) returned foreign value %d", k, v))
+							}
+						case 7:
+							out = h.RangeQuery(k, k+32, out[:0])
+							for j := 1; j < len(out); j++ {
+								if out[j-1].Key >= out[j].Key {
+									panic(fmt.Sprintf("unsorted fan-out at key %d", k))
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			wantSum, wantCount := sentSum, sentCount
+			for g := range sums {
+				wantSum += sums[g]
+				wantCount += counts[g]
+			}
+			sum, count := tree.KeySum()
+			if int64(sum) != wantSum || int64(count) != wantCount {
+				t.Fatalf("key-sum (%d,%d), threads (%d,%d)", sum, count, wantSum, wantCount)
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			st := tree.Stats().Rebalance
+			if st.Migrations == 0 {
+				t.Fatalf("no migrations fired: the stress never exercised boundary moves (%+v)", st)
+			}
+			t.Logf("%s: %d migrations, %d keys moved under %d concurrent updaters",
+				structure, st.Migrations, st.KeysMoved, goroutines)
+		})
+	}
+}

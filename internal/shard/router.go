@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"fmt"
+)
+
+// Router maps every key to the shard that owns it. A Dict publishes its
+// router through an atomic pointer, so implementations must be
+// immutable after construction: live rebalancing never mutates a router
+// in place, it builds a successor table and swaps the pointer.
+//
+// Three families exist:
+//
+//   - NewRangeRouter: contiguous key ranges, one per shard, in shard
+//     order. The default, and the only family live rebalancing can
+//     migrate (boundaries move between neighbors).
+//   - NewHashRouter: keys scattered by a mixing hash. Perfectly
+//     insensitive to key skew, but every multi-key range query must
+//     visit all shards and merge-sort the results.
+//   - Migrated range routers, produced internally by the rebalancer from
+//     an existing range router with one boundary moved.
+type Router interface {
+	// NumShards returns the number of partitions the router maps onto.
+	NumShards() int
+	// ShardFor returns the index of the shard owning key.
+	ShardFor(key uint64) int
+	// Bounds returns the key range [lo, hi) owned by shard i. For
+	// ordered routers the ranges are contiguous and ascending, and the
+	// last shard's hi is ^uint64(0); unordered routers own an
+	// interleaving of the whole key space per shard and return
+	// (0, ^uint64(0)) for every i.
+	Bounds(i int) (lo, hi uint64)
+	// Ordered reports whether ownership is contiguous and ascending in
+	// the shard index — so a window [lo, hi) overlaps exactly shards
+	// ShardFor(lo)..ShardFor(hi-1), and concatenating per-shard
+	// ascending range-query results in index order is globally sorted.
+	// Unordered (hash) routers fan range queries out to every shard and
+	// merge.
+	Ordered() bool
+}
+
+// rangeRouter owns contiguous key ranges: shard i owns [lo[i], lo[i+1])
+// and the last shard owns [lo[n-1], ^uint64(0)). The uniform constructor
+// additionally records the width so point routing stays the single
+// integer division the pre-Router sharding layer used; migrated tables
+// (width == 0) binary-search the boundary slice instead.
+type rangeRouter struct {
+	lo    []uint64 // ascending inclusive lower bounds; lo[0] == 0
+	span  uint64   // exclusive upper bound the partition is balanced over
+	width uint64   // uniform shard width, 0 for migrated (irregular) tables
+}
+
+// NewRangeRouter returns the contiguous-range router splitting
+// [0, keySpan) uniformly across shards — the sharding layer's default
+// routing, unchanged: keys at or beyond keySpan route to the last
+// shard. keySpan 0 selects the full key space.
+func NewRangeRouter(shards int, keySpan uint64) (Router, error) {
+	r, err := newUniformRangeRouter(shards, keySpan)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func newUniformRangeRouter(shards int, keySpan uint64) (*rangeRouter, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: NewRangeRouter shards = %d (want >= 1)", shards)
+	}
+	span := keySpan
+	if span == 0 {
+		span = maxKeySpan
+	}
+	// Ceiling division so shards*width covers the span; the last shard
+	// additionally owns [span, ∞) via the routing clamp.
+	width := (span-1)/uint64(shards) + 1
+	lo := make([]uint64, shards)
+	for i := range lo {
+		lo[i] = uint64(i) * width
+	}
+	return &rangeRouter{lo: lo, span: span, width: width}, nil
+}
+
+func (r *rangeRouter) NumShards() int { return len(r.lo) }
+
+func (r *rangeRouter) ShardFor(key uint64) int {
+	if r.width != 0 {
+		i := key / r.width
+		if i >= uint64(len(r.lo)) {
+			return len(r.lo) - 1 // keys beyond the span belong to the last shard
+		}
+		return int(i)
+	}
+	// Migrated table: the last shard whose lower bound is <= key.
+	// Hand-rolled binary search — this is every point operation's
+	// routing step, and sort.Search's closure indirection is measurable
+	// there.
+	lo, hi := 0, len(r.lo)
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if r.lo[mid] <= key {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (r *rangeRouter) Bounds(i int) (lo, hi uint64) {
+	if i == len(r.lo)-1 {
+		return r.lo[i], ^uint64(0)
+	}
+	return r.lo[i], r.lo[i+1]
+}
+
+func (r *rangeRouter) Ordered() bool { return true }
+
+// withBoundary returns a copy of r with shard i's inclusive lower bound
+// moved to newLo. The caller guarantees lo stays strictly ascending.
+func (r *rangeRouter) withBoundary(i int, newLo uint64) *rangeRouter {
+	lo := make([]uint64, len(r.lo))
+	copy(lo, r.lo)
+	lo[i] = newLo
+	return &rangeRouter{lo: lo, span: r.span}
+}
+
+// hashRouter scatters keys across shards with a splitmix64-style mixing
+// hash, so any key skew — Zipfian, hot ranges, sequential — spreads
+// uniformly. The price is locality: a range query cannot bound the
+// shards its keys live on, so every multi-key window reads all shards
+// and the fan-out merge-sorts the concatenated results.
+type hashRouter struct {
+	n uint64
+}
+
+// NewHashRouter returns a router scattering keys uniformly across
+// shards by a mixing hash.
+func NewHashRouter(shards int) (Router, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: NewHashRouter shards = %d (want >= 1)", shards)
+	}
+	return hashRouter{n: uint64(shards)}, nil
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose low
+// bits depend on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r hashRouter) NumShards() int          { return int(r.n) }
+func (r hashRouter) ShardFor(key uint64) int { return int(mix64(key) % r.n) }
+func (r hashRouter) Bounds(int) (uint64, uint64) {
+	return 0, ^uint64(0)
+}
+func (r hashRouter) Ordered() bool { return false }

@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"testing"
+
+	"htmtree/internal/bst"
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+)
+
+// TestRangeRouterMatchesLegacyRouting checks the uniform range router
+// is bit-for-bit the pre-Router routing function: floor division by the
+// ceiling width, clamped to the last shard.
+func TestRangeRouterMatchesLegacyRouting(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		shards int
+		span   uint64
+	}{
+		{1, 1000}, {2, 1000}, {7, 10000}, {8, 1 << 20}, {16, 4096}, {8, 10}, {3, 0},
+	} {
+		r, err := NewRangeRouter(tc.shards, tc.span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := tc.span
+		if span == 0 {
+			span = dict.MaxKey + 1
+		}
+		width := (span-1)/uint64(tc.shards) + 1
+		legacy := func(key uint64) int {
+			i := key / width
+			if i >= uint64(tc.shards) {
+				return tc.shards - 1
+			}
+			return int(i)
+		}
+		probe := []uint64{0, 1, width - 1, width, width + 1, span - 1, span, span + 1,
+			2*width - 1, 2 * width, dict.MaxKey, ^uint64(0)}
+		for k := uint64(0); k < 3000; k++ {
+			probe = append(probe, k*(span/3000+1))
+		}
+		for _, k := range probe {
+			if got, want := r.ShardFor(k), legacy(k); got != want {
+				t.Fatalf("shards=%d span=%d: ShardFor(%d) = %d, legacy %d",
+					tc.shards, tc.span, k, got, want)
+			}
+		}
+		if !r.Ordered() {
+			t.Fatal("range router must be ordered")
+		}
+	}
+}
+
+// TestMigratedRangeRouterRouting checks boundary-table routing (the
+// binary-search path) against the boundaries themselves.
+func TestMigratedRangeRouterRouting(t *testing.T) {
+	t.Parallel()
+	base, err := newUniformRangeRouter(4, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move shard 1's bound down and shard 3's up: bounds 0,50,200,350.
+	r := base.withBoundary(1, 50).withBoundary(3, 350)
+	wantLo := []uint64{0, 50, 200, 350}
+	for i, lo := range wantLo {
+		blo, bhi := r.Bounds(i)
+		if blo != lo {
+			t.Fatalf("Bounds(%d) lo = %d, want %d", i, blo, lo)
+		}
+		if i < 3 && bhi != wantLo[i+1] {
+			t.Fatalf("Bounds(%d) hi = %d, want %d", i, bhi, wantLo[i+1])
+		}
+	}
+	if _, hi := r.Bounds(3); hi != ^uint64(0) {
+		t.Fatalf("last bound hi = %d, want ^0", hi)
+	}
+	for k := uint64(0); k <= 1000; k++ {
+		want := 0
+		for i, lo := range wantLo {
+			if k >= lo {
+				want = i
+			}
+		}
+		if got := r.ShardFor(k); got != want {
+			t.Fatalf("ShardFor(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestHashRouterCoverageAndBalance checks the hash router assigns every
+// key to a valid shard and spreads a contiguous key block evenly (every
+// shard within 2x of the uniform share).
+func TestHashRouterCoverageAndBalance(t *testing.T) {
+	t.Parallel()
+	const shards, keys = 8, 1 << 14
+	r, err := NewHashRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ordered() {
+		t.Fatal("hash router must be unordered")
+	}
+	counts := make([]int, shards)
+	for k := uint64(1); k <= keys; k++ {
+		i := r.ShardFor(k)
+		if i < 0 || i >= shards {
+			t.Fatalf("ShardFor(%d) = %d out of range", k, i)
+		}
+		counts[i]++
+	}
+	for i, c := range counts {
+		if c < keys/shards/2 || c > keys/shards*2 {
+			t.Fatalf("shard %d holds %d of %d sequential keys: hash not spreading", i, c, keys)
+		}
+	}
+}
+
+func newAdaptiveShardedBST(t *testing.T, shards int, span uint64, reb RebalanceConfig) *Dict {
+	t.Helper()
+	d, err := New(Config{
+		Shards:    shards,
+		KeySpan:   span,
+		Atomic:    true,
+		Rebalance: &reb,
+		New: func(_ int, mon *engine.UpdateMonitor) dict.Dict {
+			return bst.New(bst.Config{
+				Algorithm: engine.AlgThreePath,
+				Engine:    engine.Config{Monitor: mon},
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRebalanceMigratesHotBoundary hammers one shard's key range on an
+// adaptive dictionary and checks that (a) migrations happen, (b) the
+// hot shard's span shrinks, (c) every key remains reachable and the
+// partition invariant holds afterwards.
+func TestRebalanceMigratesHotBoundary(t *testing.T) {
+	t.Parallel()
+	const (
+		shards = 4
+		span   = 4000 // width 1000
+	)
+	d := newAdaptiveShardedBST(t, shards, span, RebalanceConfig{
+		CheckOps: 64,
+		Ratio:    1.1,
+	})
+	h := d.NewHandle()
+	present := make(map[uint64]uint64)
+	for k := uint64(1); k <= span; k += 7 { // spread keys over all shards
+		h.Insert(k, k*3)
+		present[k] = k * 3
+	}
+	origLo, origHi := d.Bounds(0)
+
+	// Hot loop confined to shard 0's original range.
+	for i := 0; i < 40000; i++ {
+		k := uint64(i%997) + 1
+		if i%2 == 0 {
+			h.Insert(k, k*3)
+			present[k] = k * 3
+		} else {
+			if _, existed := h.Delete(k); existed {
+				delete(present, k)
+			}
+		}
+	}
+
+	st := d.RebalanceStats()
+	if st.Migrations == 0 {
+		t.Fatalf("no migrations under a fully skewed load: %+v", st)
+	}
+	lo, hi := d.Bounds(0)
+	if lo != origLo {
+		t.Fatalf("shard 0 lower bound moved: %d -> %d", origLo, lo)
+	}
+	if hi >= origHi {
+		t.Fatalf("hot shard 0 span did not shrink: [%d,%d) -> [%d,%d), stats %+v",
+			origLo, origHi, lo, hi, st)
+	}
+	// Every key must still be routed to a shard that has it.
+	for k, v := range present {
+		got, ok := h.Search(k)
+		if !ok || got != v {
+			t.Fatalf("Search(%d) = (%d,%v) after migrations, want (%d,true)", k, got, ok, v)
+		}
+	}
+	out := h.RangeQuery(1, span+1, nil)
+	if len(out) != len(present) {
+		t.Fatalf("RangeQuery returned %d pairs, want %d", len(out), len(present))
+	}
+	for i, kv := range out {
+		if i > 0 && out[i-1].Key >= kv.Key {
+			t.Fatalf("fan-out unsorted at %d after migrations", i)
+		}
+		if v, ok := present[kv.Key]; !ok || v != kv.Val {
+			t.Fatalf("RangeQuery pair (%d,%d) unexpected", kv.Key, kv.Val)
+		}
+	}
+	var wantSum uint64
+	for k := range present {
+		wantSum += k
+	}
+	sum, count := d.KeySum()
+	if count != uint64(len(present)) || sum != wantSum {
+		t.Fatalf("KeySum = (%d,%d), want (%d,%d)", sum, count, wantSum, len(present))
+	}
+	if err := d.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashRouterDict runs the basic dictionary operations over a
+// hash-routed dictionary: point ops route consistently and fan-out
+// range queries come back complete and sorted despite interleaved
+// shard ownership.
+func TestHashRouterDict(t *testing.T) {
+	t.Parallel()
+	r, err := NewHashRouter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		Shards: 8,
+		Router: r,
+		New: func(int, *engine.UpdateMonitor) dict.Dict {
+			return bst.New(bst.Config{Algorithm: engine.AlgThreePath})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.NewHandle()
+	const keys = 2048
+	for k := uint64(1); k <= keys; k++ {
+		h.Insert(k, k+5)
+	}
+	for k := uint64(1); k <= keys; k += 97 {
+		if v, ok := h.Search(k); !ok || v != k+5 {
+			t.Fatalf("Search(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	out := h.RangeQuery(100, 1100, nil)
+	if len(out) != 1000 {
+		t.Fatalf("RQ[100,1100): %d pairs, want 1000", len(out))
+	}
+	for i, kv := range out {
+		if kv.Key != 100+uint64(i) || kv.Val != kv.Key+5 {
+			t.Fatalf("RQ[100,1100)[%d] = (%d,%d)", i, kv.Key, kv.Val)
+		}
+	}
+	// Single-key windows route to exactly one shard and stay correct.
+	if out := h.RangeQuery(500, 501, nil); len(out) != 1 || out[0].Key != 500 {
+		t.Fatalf("single-key window = %v", out)
+	}
+	if err := d.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	sum, count := d.KeySum()
+	if count != keys || sum != keys*(keys+1)/2 {
+		t.Fatalf("KeySum = (%d,%d)", sum, count)
+	}
+}

@@ -1,28 +1,35 @@
 // Package shard implements a horizontally partitioned ordered
-// dictionary: the key space is split into N contiguous ranges, each
-// served by an independent inner dictionary (in this repository, a
-// template tree with its own engine, HTM context, and fallback
-// indicator — Brown, PODC 2017, Sections 5–6). Point operations route
-// to the owning shard; range queries fan out to the overlapping shards
-// and concatenate the per-shard results, which — because the partition
-// is contiguous and each shard returns its pairs in ascending key
-// order — yields a globally key-ordered result without a merge step.
+// dictionary: the key space is divided among N independent inner
+// dictionaries (in this repository, template trees with their own
+// engine, HTM context, and fallback indicator — Brown, PODC 2017,
+// Sections 5–6) by a pluggable Router. Point operations route to the
+// owning shard; range queries fan out to the overlapping shards. Under
+// the default contiguous-range router the per-shard results concatenate
+// into a globally key-ordered result without a merge step; under the
+// hash router every multi-key window reads all shards and merge-sorts.
 //
 // Sharding is the first scaling lever on top of Brown's template: each
 // tree is self-contained, so partitioning multiplies the fallback
 // indicators and transactional conflict domains, and update-heavy
 // workloads that serialize on one tree's contended paths spread across
-// N of them.
+// N of them. The Router decides how well that spreading survives key
+// skew: a static range split collapses a Zipfian or hot-range workload
+// onto one shard, a hash split is skew-oblivious (but loses range
+// locality), and Config.Rebalance makes the range split adaptive —
+// boundary slices of a hot shard's key range migrate live to neighbor
+// shards (see RebalanceConfig).
 //
 // # Consistency
 //
 // Point operations are linearizable exactly as the inner dictionaries
-// are (each key lives in exactly one shard). Each shard's range query
-// is atomic in isolation (it runs as a single template operation), but
-// a fan-out that spans shards observes each shard at a possibly
-// different point in time, so by default a cross-shard RangeQuery (and
-// KeySum) may return a state no single linearization point ever
-// produced.
+// are (each key lives in exactly one shard at every instant; during a
+// migration both affected shards' updates are held off, and the routing
+// table swaps only while the moved keys are present in both). Each
+// shard's range query is atomic in isolation (it runs as a single
+// template operation), but a fan-out that spans shards observes each
+// shard at a possibly different point in time, so by default a
+// cross-shard RangeQuery (and KeySum) may return a state no single
+// linearization point ever produced.
 //
 // Config.Atomic repairs this with optimistic per-shard version
 // validation, in the spirit of the hybrid validation of Ben-David et
@@ -41,10 +48,20 @@
 // machinery), which holds new update operations at engine entry until
 // validation is guaranteed to succeed. RQStats reports how often
 // queries retried and escalated.
+//
+// A rebalancing dictionary always runs this validation (Config.Atomic
+// is implied): the overlapping shard set is recomputed from the live
+// routing table on every attempt and the attempt additionally fails if
+// the table moved under it, while a migration brackets both affected
+// monitors for its whole duration — so no fan-out can observe a
+// half-moved range, and a reader holding stale routing can never
+// validate. Escalated readers also hold the migration lock, so a
+// stream of migrations cannot starve them.
 package shard
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -60,15 +77,32 @@ const DefaultShards = 8
 // an atomic cross-shard read escalates to the quiesce gates.
 const DefaultRQRetries = 8
 
+// maxKeySpan is the default partition span: the full legal key space.
+const maxKeySpan = dict.MaxKey + 1
+
 // Config describes a sharded dictionary.
 type Config struct {
-	// Shards is the number of partitions (default DefaultShards).
+	// Shards is the number of partitions (default DefaultShards, or
+	// Router.NumShards() when a Router is supplied).
 	Shards int
 	// KeySpan is the exclusive upper bound of the client key range the
 	// partition is balanced over (default dict.MaxKey+1). Keys at or
-	// above KeySpan are still legal: they route to the last shard, which
-	// owns everything from its lower bound upward.
+	// above KeySpan are still legal: under range routing they route to
+	// the last shard, which owns everything from its lower bound upward.
+	// Ignored by the hash router.
 	KeySpan uint64
+	// Router overrides how keys map to shards (default: the contiguous
+	// range router NewRangeRouter(Shards, KeySpan), preserving the
+	// layer's original routing exactly). Use NewHashRouter for
+	// skew-oblivious scattering — at the cost of every multi-key range
+	// query visiting all shards.
+	Router Router
+	// Rebalance enables live key-range rebalancing: boundary slices of a
+	// disproportionately busy shard's key range migrate to neighbor
+	// shards at runtime. Requires range routing (the default router, or
+	// one from NewRangeRouter) and at least two shards; implies the
+	// version-validated read protocol of Atomic.
+	Rebalance *RebalanceConfig
 	// Atomic makes cross-shard RangeQuery and KeySum atomic via
 	// per-shard version validation with quiesce escalation. It requires
 	// the New constructor to wire the provided monitor into the inner
@@ -76,18 +110,63 @@ type Config struct {
 	Atomic bool
 	// RQRetries bounds the optimistic validation attempts of an atomic
 	// cross-shard read before it escalates to quiescing the overlapping
-	// shards (default DefaultRQRetries). Ignored unless Atomic.
+	// shards (default DefaultRQRetries). Ignored unless Atomic (or
+	// Rebalance, which implies it).
 	RQRetries int
 	// Gate overrides the quiesce-gate indicator installed in each
 	// shard's monitor (default: a fetch-and-increment counter; use
 	// engine.NewSNZIIndicator for the scalable variant). The factory is
-	// called once per shard. Ignored unless Atomic.
+	// called once per shard. Ignored unless Atomic or Rebalance.
 	Gate func(i int) engine.Indicator
 	// New constructs the inner dictionary for shard i. Each call must
 	// return a fresh, independent instance. mon is non-nil exactly when
-	// Atomic is set, and must then be installed as the inner engine's
-	// Monitor so updates publish their commit points.
+	// Atomic or Rebalance is set, and must then be installed as the
+	// inner engine's Monitor so updates publish their commit points.
 	New func(i int, mon *engine.UpdateMonitor) dict.Dict
+}
+
+// validate resolves the shard count and checks every field, naming the
+// failing field and the offending value in the error.
+func (cfg Config) validate() (shards int, err error) {
+	n := cfg.Shards
+	if n == 0 {
+		if cfg.Router != nil {
+			n = cfg.Router.NumShards()
+		} else {
+			n = DefaultShards
+		}
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("shard: Config.Shards = %d (want >= 1, or 0 for the default %d)",
+			cfg.Shards, DefaultShards)
+	}
+	if cfg.New == nil {
+		return 0, fmt.Errorf("shard: Config.New = nil (a per-shard dictionary constructor is required)")
+	}
+	if cfg.RQRetries < 0 {
+		return 0, fmt.Errorf("shard: Config.RQRetries = %d (want >= 0; 0 selects the default %d)",
+			cfg.RQRetries, DefaultRQRetries)
+	}
+	if cfg.Router != nil && cfg.Router.NumShards() != n {
+		return 0, fmt.Errorf("shard: Config.Router covers %d shards but Config.Shards = %d",
+			cfg.Router.NumShards(), cfg.Shards)
+	}
+	if cfg.Rebalance != nil {
+		if err := cfg.Rebalance.validate(); err != nil {
+			return 0, err
+		}
+		if n < 2 {
+			return 0, fmt.Errorf("shard: Config.Rebalance requires at least 2 shards, Config.Shards = %d",
+				cfg.Shards)
+		}
+		if cfg.Router != nil {
+			if _, ok := cfg.Router.(*rangeRouter); !ok {
+				return 0, fmt.Errorf("shard: Config.Rebalance requires a range router (NewRangeRouter), Config.Router is %T",
+					cfg.Router)
+			}
+		}
+	}
+	return n, nil
 }
 
 // statsSource matches the data structures that expose engine and HTM
@@ -99,28 +178,40 @@ type statsSource interface {
 
 // RQStats counts the outcomes of atomic cross-shard reads (RangeQuery
 // and KeySum validation loops). All counters are zero when the
-// dictionary was built without Config.Atomic.
+// dictionary was built without Config.Atomic or Config.Rebalance.
 type RQStats struct {
 	// Attempts counts validated snapshot attempts, including the
 	// successful final attempt of every read.
 	Attempts uint64
-	// Retries counts attempts invalidated by a concurrent update (or by
-	// an update in flight at sampling time).
+	// Retries counts attempts invalidated by a concurrent update or
+	// migration (or by one in flight at sampling time).
 	Retries uint64
 	// Escalations counts reads that exhausted the optimistic budget and
 	// fell back to holding the shards' quiesce gates.
 	Escalations uint64
 }
 
+// routing is the unit the routing-table pointer stores (a Router is an
+// interface value, which atomic.Pointer cannot hold directly).
+type routing struct {
+	r Router
+}
+
 // Dict is a sharded ordered dictionary. It implements dict.Dict.
 type Dict struct {
 	shards []dict.Dict
-	width  uint64
+
+	// rt is the published routing table. Point operations and fan-outs
+	// load it per attempt; rebalancing migrations swap it.
+	rt atomic.Pointer[routing]
 
 	// mons holds one update monitor per shard when the dictionary was
-	// built with Config.Atomic; nil otherwise.
+	// built with Config.Atomic or Config.Rebalance; nil otherwise.
 	mons      []*engine.UpdateMonitor
 	rqRetries int
+
+	// reb is the live rebalancer; nil when rebalancing is disabled.
+	reb *rebalancer
 
 	rqAttempts    atomic.Uint64
 	rqRetried     atomic.Uint64
@@ -137,31 +228,27 @@ type Dict struct {
 
 // New builds a sharded dictionary from cfg.
 func New(cfg Config) (*Dict, error) {
-	n := cfg.Shards
-	if n == 0 {
-		n = DefaultShards
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
 	}
-	if n < 1 {
-		return nil, fmt.Errorf("shard: invalid shard count %d", n)
-	}
-	if cfg.New == nil {
-		return nil, fmt.Errorf("shard: nil constructor")
-	}
-	span := cfg.KeySpan
-	if span == 0 {
-		span = dict.MaxKey + 1
+	r := cfg.Router
+	if r == nil {
+		rr, rerr := newUniformRangeRouter(n, cfg.KeySpan)
+		if rerr != nil {
+			return nil, rerr
+		}
+		r = rr
 	}
 	d := &Dict{
-		shards: make([]dict.Dict, n),
-		// Ceiling division so n*width covers the span; the last shard
-		// additionally owns [span, ∞) via routing clamp.
-		width:     (span-1)/uint64(n) + 1,
+		shards:    make([]dict.Dict, n),
 		rqRetries: cfg.RQRetries,
 	}
-	if d.rqRetries <= 0 {
+	d.rt.Store(&routing{r: r})
+	if d.rqRetries == 0 {
 		d.rqRetries = DefaultRQRetries
 	}
-	if cfg.Atomic {
+	if cfg.Atomic || cfg.Rebalance != nil {
 		d.mons = make([]*engine.UpdateMonitor, n)
 		for i := range d.mons {
 			var gate engine.Indicator
@@ -169,6 +256,20 @@ func New(cfg Config) (*Dict, error) {
 				gate = cfg.Gate(i)
 			}
 			d.mons[i] = engine.NewUpdateMonitor(gate)
+			if cfg.Rebalance != nil {
+				// Migrations need Quiesce to mean "no update at all in
+				// flight"; plain Atomic dictionaries skip the in-flight
+				// accounting that costs.
+				d.mons[i].EnableFullDrain()
+			}
+		}
+	}
+	if cfg.Rebalance != nil {
+		d.reb = &rebalancer{
+			cfg:     cfg.Rebalance.withDefaults(),
+			lastOps: make([]uint64, n),
+			deltas:  make([]uint64, n),
+			handles: make([]dict.Handle, n),
 		}
 	}
 	for i := range d.shards {
@@ -190,26 +291,33 @@ func (d *Dict) Shard(i int) dict.Dict { return d.shards[i] }
 // Atomic reports whether cross-shard reads are version-validated.
 func (d *Dict) Atomic() bool { return d.mons != nil }
 
-// ShardFor returns the index of the partition owning key.
-func (d *Dict) ShardFor(key uint64) int {
-	i := key / d.width
-	if i >= uint64(len(d.shards)) {
-		return len(d.shards) - 1 // keys beyond KeySpan belong to the last shard
-	}
-	return int(i)
-}
+// Router returns the current routing table. On a rebalancing dictionary
+// the table may be superseded at any time; callers needing a stable
+// view across several calls must capture the returned value once.
+func (d *Dict) Router() Router { return d.rt.Load().r }
 
-// Bounds returns the key range [lo, hi) owned by partition i; the last
-// partition's hi is ^uint64(0) (it owns everything upward).
-func (d *Dict) Bounds(i int) (lo, hi uint64) {
-	lo = uint64(i) * d.width
-	if i == len(d.shards)-1 {
-		return lo, ^uint64(0)
-	}
-	return lo, lo + d.width
-}
+// ShardFor returns the index of the partition currently owning key.
+func (d *Dict) ShardFor(key uint64) int { return d.Router().ShardFor(key) }
+
+// Bounds returns the key range [lo, hi) currently owned by partition i;
+// under range routing the last partition's hi is ^uint64(0) (it owns
+// everything upward), and under hash routing every partition reports
+// the full key space.
+func (d *Dict) Bounds(i int) (lo, hi uint64) { return d.Router().Bounds(i) }
 
 // NewHandle registers a per-goroutine handle on every shard.
+//
+// On a rebalancing dictionary the handle performs monitor admission
+// itself: a point operation routes, Enters the target shard's monitor
+// (pinning the shard — a migration cannot start while the operation is
+// in flight), re-checks that the routing table did not move between
+// routing and admission, and only then dispatches through inner handles
+// whose own engine-level admission is bypassed. Without this, an
+// updater could route to a shard, block at its quiesce gate while a
+// migration moves its key away, and then commit into the wrong shard
+// with stale routing. Inner dictionaries that cannot bypass the gate
+// latch rebalancing off instead (migrations then never happen, so
+// plain dispatch stays correct).
 func (d *Dict) NewHandle() dict.Handle {
 	hs := make([]dict.Handle, len(d.shards))
 	for i, s := range d.shards {
@@ -218,6 +326,23 @@ func (d *Dict) NewHandle() dict.Handle {
 	h := &handle{d: d, hs: hs}
 	if d.mons != nil {
 		h.samples = make([]engine.MonitorSample, len(d.shards))
+	}
+	if d.reb != nil && !d.reb.disabled.Load() {
+		bypassable := true
+		for _, ih := range hs {
+			if _, ok := ih.(gateBypasser); !ok {
+				bypassable = false
+				break
+			}
+		}
+		if bypassable {
+			for _, ih := range hs {
+				ih.(gateBypasser).SetGateBypass(true)
+			}
+			h.admit = true
+		} else {
+			d.reb.disabled.Store(true)
+		}
 	}
 	return h
 }
@@ -232,26 +357,50 @@ func (d *Dict) RQStats() RQStats {
 	}
 }
 
-// readConsistent runs read — an idempotent function reading shards
-// [first, last] — inside the sample/read/validate loop, retrying until
-// no update invalidated the window. After d.rqRetries failed attempts
-// it escalates: it arrives on the overlapping shards' quiesce gates so
-// new update operations wait at engine entry, after which only the
-// finitely many updates already in flight can still invalidate the
-// window, and the loop terminates. samples is caller scratch with
-// capacity at least last-first+1.
-func (d *Dict) readConsistent(first, last int, samples []engine.MonitorSample, read func()) {
+// overlap returns the inclusive shard index range a window [lo, hi)
+// fans out to under r: the boundary shards for ordered routers, every
+// shard for unordered ones (except single-key windows, which always
+// have a unique owner).
+func overlap(r Router, lo, hi uint64) (first, last int) {
+	if r.Ordered() {
+		return r.ShardFor(lo), r.ShardFor(hi - 1)
+	}
+	if hi-lo == 1 {
+		s := r.ShardFor(lo)
+		return s, s
+	}
+	return 0, r.NumShards() - 1
+}
+
+// readConsistent runs read — an idempotent function reading the shards
+// overlapping [lo, hi) under the supplied router — inside the
+// sample/read/validate loop, retrying until no update invalidated the
+// window. Each attempt reloads the routing table, and fails if the
+// table was swapped after the samples were taken, so a migrated key
+// range can never be read through stale routing. After d.rqRetries
+// failed attempts it escalates: it takes the migration lock (when the
+// dictionary rebalances) and arrives on the overlapping shards' quiesce
+// gates, so new update operations and migrations wait while the
+// finitely many updates already in flight drain, and the loop
+// terminates. samples is caller scratch with capacity NumShards.
+func (d *Dict) readConsistent(lo, hi uint64, samples []engine.MonitorSample, read func(r Router, first, last int)) {
 	try := func() bool {
 		d.rqAttempts.Add(1)
+		rt := d.rt.Load()
+		r := rt.r
+		first, last := overlap(r, lo, hi)
 		samples = samples[:0]
 		for s := first; s <= last; s++ {
 			smp, ok := d.mons[s].Sample()
 			if !ok {
-				return false // a non-transactional update is mid-flight
+				return false // an update or migration is mid-flight
 			}
 			samples = append(samples, smp)
 		}
-		read()
+		if d.rt.Load() != rt {
+			return false // routing table swapped after sampling
+		}
+		read(r, first, last)
 		for s := first; s <= last; s++ {
 			if !d.mons[s].Validate(samples[s-first]) {
 				return false
@@ -266,9 +415,20 @@ func (d *Dict) readConsistent(first, last int, samples []engine.MonitorSample, r
 		d.rqRetried.Add(1)
 	}
 	d.rqEscalations.Add(1)
-	// Quiesce now, release via defer: if read() panics (it runs an
-	// arbitrary inner dictionary) and the caller recovers, held gates
-	// must not leak — they would park every future update forever.
+	// Hold the migration lock while escalated: migrations bypass the
+	// quiesce gates (they hold them), so without this a migration stream
+	// could keep invalidating a gated reader forever. Rebalance checks
+	// only TryLock, so updaters never block on an escalated reader here.
+	if rb := d.reb; rb != nil {
+		rb.mu.Lock()
+		defer rb.mu.Unlock()
+	}
+	// With migrations excluded the routing table is stable; quiesce the
+	// overlapping shards. Quiesce now, release via defer: if read()
+	// panics (it runs an arbitrary inner dictionary) and the caller
+	// recovers, held gates must not leak — they would park every future
+	// update forever.
+	first, last := overlap(d.Router(), lo, hi)
 	for s := first; s <= last; s++ {
 		defer d.mons[s].Quiesce()()
 	}
@@ -279,12 +439,13 @@ func (d *Dict) readConsistent(first, last int, samples []engine.MonitorSample, r
 
 // KeySum returns the sum and count of keys across all shards.
 //
-// Consistency: with Config.Atomic the result is a consistent cut — the
-// sum and count of the keys present at one instant during the call, as
-// if taken at a single linearization point — and KeySum may run
-// concurrently with updates. Without Atomic it inherits the inner
-// dictionaries' quiescent-only contract: each shard is summed at a
-// different time, and a shard's walk may itself race updaters.
+// Consistency: with Config.Atomic (or Config.Rebalance) the result is a
+// consistent cut — the sum and count of the keys present at one instant
+// during the call, as if taken at a single linearization point — and
+// KeySum may run concurrently with updates and migrations. Without
+// either it inherits the inner dictionaries' quiescent-only contract:
+// each shard is summed at a different time, and a shard's walk may
+// itself race updaters.
 func (d *Dict) KeySum() (sum, count uint64) {
 	read := func() {
 		sum, count = 0, 0
@@ -299,7 +460,7 @@ func (d *Dict) KeySum() (sum, count uint64) {
 		return sum, count
 	}
 	samples := make([]engine.MonitorSample, 0, len(d.shards))
-	d.readConsistent(0, len(d.shards)-1, samples, read)
+	d.readConsistent(0, maxKeySpan, samples, func(Router, int, int) { read() })
 	return sum, count
 }
 
@@ -330,7 +491,8 @@ func (d *Dict) HTMStats() htm.Stats {
 }
 
 // CheckPartition verifies the partition invariant: every key stored in
-// shard i lies within Bounds(i). Quiescent use only.
+// shard i is routed to shard i by the current routing table. Quiescent
+// use only.
 func (d *Dict) CheckPartition() error {
 	d.checkMu.Lock()
 	defer d.checkMu.Unlock()
@@ -340,13 +502,14 @@ func (d *Dict) CheckPartition() error {
 			d.checkHandles[i] = s.NewHandle()
 		}
 	}
+	r := d.Router()
 	for i := range d.shards {
-		lo, hi := d.Bounds(i)
-		pairs := d.checkHandles[i].RangeQuery(0, dict.MaxKey+1, nil)
+		pairs := d.checkHandles[i].RangeQuery(0, maxKeySpan, nil)
 		for _, kv := range pairs {
-			if kv.Key < lo || (kv.Key >= hi && i != len(d.shards)-1) {
-				return fmt.Errorf("shard %d holds key %d outside its range [%d,%d)",
-					i, kv.Key, lo, hi)
+			if owner := r.ShardFor(kv.Key); owner != i {
+				lo, hi := r.Bounds(i)
+				return fmt.Errorf("shard %d holds key %d owned by shard %d (bounds [%d,%d))",
+					i, kv.Key, owner, lo, hi)
 			}
 		}
 	}
@@ -358,44 +521,142 @@ type handle struct {
 	d       *Dict
 	hs      []dict.Handle
 	samples []engine.MonitorSample // scratch for atomic fan-out validation
+
+	// admit marks that this handle performs shard-level monitor
+	// admission for updates (rebalancing dictionaries; see NewHandle).
+	admit bool
+	// sinceCheck counts point operations since the last rebalance
+	// evaluation this handle triggered (unused unless rebalancing).
+	sinceCheck int
+}
+
+// routeUpdate returns the shard handle owning key for an update. On a
+// rebalancing dictionary (h.admit) it additionally admits the
+// operation on the shard's monitor — release must then be called when
+// the operation completes — and re-routes if a migration swapped the
+// table between routing and admission, so the operation can never run
+// against a shard that no longer owns its key.
+func (h *handle) routeUpdate(key uint64) (target dict.Handle, release func()) {
+	d := h.d
+	if !h.admit {
+		return h.hs[d.ShardFor(key)], nil
+	}
+	for {
+		rt := d.rt.Load()
+		s := rt.r.ShardFor(key)
+		mon := d.mons[s]
+		mon.Enter()
+		if d.rt.Load() == rt {
+			return h.hs[s], mon.Exit
+		}
+		mon.Exit() // migrated under us: re-route against the new table
+	}
+}
+
+// afterPointOp triggers a rebalance evaluation every CheckOps point
+// operations on a rebalancing dictionary.
+func (h *handle) afterPointOp() {
+	rb := h.d.reb
+	if rb == nil {
+		return
+	}
+	h.sinceCheck++
+	if h.sinceCheck >= rb.cfg.CheckOps {
+		h.sinceCheck = 0
+		h.d.maybeRebalance()
+	}
 }
 
 func (h *handle) Insert(key, val uint64) (old uint64, existed bool) {
-	return h.hs[h.d.ShardFor(key)].Insert(key, val)
+	target, release := h.routeUpdate(key)
+	old, existed = target.Insert(key, val)
+	if release != nil {
+		release()
+	}
+	h.afterPointOp()
+	return old, existed
 }
 
 func (h *handle) Delete(key uint64) (old uint64, existed bool) {
-	return h.hs[h.d.ShardFor(key)].Delete(key)
+	target, release := h.routeUpdate(key)
+	old, existed = target.Delete(key)
+	if release != nil {
+		release()
+	}
+	h.afterPointOp()
+	return old, existed
 }
 
+// Search routes to the owning shard. On a rebalancing dictionary a hit
+// is always linearizable (at the instant the routing table was loaded,
+// the routed shard held the authoritative copy, and a migration keeps
+// the moved keys present in the donor until after the table swap), but
+// a miss could be stale: a migration completing between the table load
+// and the shard read may have moved the key to a shard this search
+// never visited. A miss therefore revalidates the table and re-routes
+// if it changed — searches stay gate-free and pay only one extra
+// atomic load on the miss path.
 func (h *handle) Search(key uint64) (val uint64, found bool) {
-	return h.hs[h.d.ShardFor(key)].Search(key)
+	d := h.d
+	if !h.admit {
+		return h.hs[d.ShardFor(key)].Search(key)
+	}
+	for {
+		rt := d.rt.Load()
+		val, found = h.hs[rt.r.ShardFor(key)].Search(key)
+		if found || d.rt.Load() == rt {
+			return val, found
+		}
+		// Miss under a routing change: retry against the new table.
+	}
 }
 
-// RangeQuery fans out to the shards overlapping [lo, hi) in partition
-// order. Each shard filters to its own keys, so handing every shard the
-// full interval and concatenating preserves global ascending key order.
-// With Config.Atomic a multi-shard fan-out is additionally wrapped in
-// the sample/read/validate loop, making the result a consistent cut; a
-// window inside a single shard is atomic either way and skips the loop.
+// readShards appends the pairs of [lo, hi) from shards first..last to
+// out. Under an unordered router the concatenation interleaves shard
+// outputs, so the appended suffix is merge-sorted before returning.
+func (h *handle) readShards(r Router, first, last int, lo, hi uint64, out []dict.KV) []dict.KV {
+	base := len(out)
+	for s := first; s <= last; s++ {
+		out = h.hs[s].RangeQuery(lo, hi, out)
+	}
+	if !r.Ordered() && last > first {
+		seg := out[base:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i].Key < seg[j].Key })
+	}
+	return out
+}
+
+// RangeQuery fans out to the shards overlapping [lo, hi). Under range
+// routing each shard filters to its own keys and the partition is
+// contiguous, so handing every shard the full interval and
+// concatenating in partition order preserves global ascending key
+// order; under hash routing all shards are read and the results
+// merge-sorted. With Config.Atomic (or Config.Rebalance) a fan-out is
+// additionally wrapped in the sample/read/validate loop, making the
+// result a consistent cut; on a non-rebalancing dictionary a window
+// inside a single shard is atomic either way and skips the loop (with
+// rebalancing even single-shard windows validate, because a concurrent
+// migration may be moving the window's keys between shards).
 func (h *handle) RangeQuery(lo, hi uint64, out []dict.KV) []dict.KV {
 	if hi <= lo {
 		return out
 	}
-	first := h.d.ShardFor(lo)
-	last := h.d.ShardFor(hi - 1)
-	if h.d.mons == nil || first == last {
-		for s := first; s <= last; s++ {
-			out = h.hs[s].RangeQuery(lo, hi, out)
+	d := h.d
+	if d.mons == nil {
+		r := d.Router()
+		first, last := overlap(r, lo, hi)
+		return h.readShards(r, first, last, lo, hi, out)
+	}
+	if d.reb == nil {
+		r := d.Router()
+		if first, last := overlap(r, lo, hi); first == last {
+			return h.readShards(r, first, last, lo, hi, out)
 		}
-		return out
 	}
 	base := len(out)
-	h.d.readConsistent(first, last, h.samples[:0], func() {
+	d.readConsistent(lo, hi, h.samples[:0], func(r Router, first, last int) {
 		out = out[:base]
-		for s := first; s <= last; s++ {
-			out = h.hs[s].RangeQuery(lo, hi, out)
-		}
+		out = h.readShards(r, first, last, lo, hi, out)
 	})
 	return out
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -25,22 +26,110 @@ func newShardedBST(t *testing.T, shards int, span uint64) *Dict {
 	return d
 }
 
+// TestConfigValidation drives every rejection path of Config through a
+// table: each invalid configuration must be refused with an error that
+// names the failing field and quotes the offending value, so a
+// misconfigured caller can see at a glance what to fix.
 func TestConfigValidation(t *testing.T) {
 	t.Parallel()
-	if _, err := New(Config{Shards: -1, New: func(int, *engine.UpdateMonitor) dict.Dict { return nil }}); err == nil {
-		t.Fatal("accepted negative shard count")
-	}
-	if _, err := New(Config{Shards: 4}); err == nil {
-		t.Fatal("accepted nil constructor")
-	}
-	d, err := New(Config{New: func(int, *engine.UpdateMonitor) dict.Dict {
+	ctor := func(int, *engine.UpdateMonitor) dict.Dict {
 		return bst.New(bst.Config{Algorithm: engine.AlgNonHTM})
-	}})
+	}
+	hash4, err := NewHashRouter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	range8, err := NewRangeRouter(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want []string // substrings the error must contain: field name and value
+	}{
+		{
+			name: "negative shards",
+			cfg:  Config{Shards: -1, New: ctor},
+			want: []string{"Config.Shards", "-1"},
+		},
+		{
+			name: "nil constructor",
+			cfg:  Config{Shards: 4},
+			want: []string{"Config.New", "nil"},
+		},
+		{
+			name: "negative rq retries",
+			cfg:  Config{Shards: 4, New: ctor, Atomic: true, RQRetries: -2},
+			want: []string{"Config.RQRetries", "-2"},
+		},
+		{
+			name: "router shard count mismatch",
+			cfg:  Config{Shards: 8, New: ctor, Router: hash4},
+			want: []string{"Config.Router", "4", "8"},
+		},
+		{
+			name: "rebalance on hash router",
+			cfg:  Config{Shards: 4, New: ctor, Router: hash4, Rebalance: &RebalanceConfig{}},
+			want: []string{"Config.Rebalance", "range router"},
+		},
+		{
+			name: "rebalance on one shard",
+			cfg:  Config{Shards: 1, New: ctor, Rebalance: &RebalanceConfig{}},
+			want: []string{"Config.Rebalance", "at least 2 shards"},
+		},
+		{
+			name: "negative rebalance check ops",
+			cfg:  Config{Shards: 4, New: ctor, Rebalance: &RebalanceConfig{CheckOps: -5}},
+			want: []string{"Config.Rebalance.CheckOps", "-5"},
+		},
+		{
+			name: "negative rebalance ratio",
+			cfg:  Config{Shards: 4, New: ctor, Rebalance: &RebalanceConfig{Ratio: -1}},
+			want: []string{"Config.Rebalance.Ratio", "-1"},
+		},
+		{
+			name: "rebalance move fraction too large",
+			cfg:  Config{Shards: 4, New: ctor, Rebalance: &RebalanceConfig{MoveFraction: 1.5}},
+			want: []string{"Config.Rebalance.MoveFraction", "1.5"},
+		},
+		{
+			name: "negative rebalance move fraction",
+			cfg:  Config{Shards: 4, New: ctor, Rebalance: &RebalanceConfig{MoveFraction: -0.25}},
+			want: []string{"Config.Rebalance.MoveFraction", "-0.25"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := New(tc.cfg)
+			if err == nil {
+				t.Fatalf("accepted invalid config %+v", tc.cfg)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
+	}
+
+	// Valid defaults still work.
+	d, err := New(Config{New: ctor})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.NumShards() != DefaultShards {
 		t.Fatalf("NumShards = %d, want default %d", d.NumShards(), DefaultShards)
+	}
+	// A supplied router resolves the shard count when Shards is zero.
+	d, err = New(Config{New: ctor, Router: range8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want router's 8", d.NumShards())
 	}
 }
 

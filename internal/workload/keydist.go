@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"htmtree/internal/xrand"
+)
+
+// Hot-range defaults: 90% of the operations land in the lowest 1/8 of
+// the key range — one shard's worth under the default 8-way range
+// split.
+const (
+	DefaultHotOpFrac  = 0.9
+	DefaultHotKeyFrac = 0.125
+)
+
+// KeyDist selects the key distribution update threads draw from.
+type KeyDist uint8
+
+// Key distributions.
+const (
+	// DistUniform draws keys uniformly from the key range (the paper's
+	// Section 7.1 methodology; the default).
+	DistUniform KeyDist = iota
+	// DistZipf draws keys Zipfian with parameter Config.ZipfTheta: key k
+	// is drawn with probability proportional to 1/k^theta, so the low
+	// keys are disproportionately hot. Under range-routed sharding this
+	// concentrates almost all updates on the first shard — the
+	// skew-collapse scenario hash and adaptive routing exist for.
+	DistZipf
+	// DistHotRange sends Config.HotOpFrac of the operations into the
+	// lowest Config.HotKeyFrac slice of the key range and spreads the
+	// rest uniformly — an adversarial single-hot-shard workload.
+	DistHotRange
+)
+
+// String returns the distribution's benchmark label.
+func (d KeyDist) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistZipf:
+		return "zipf"
+	case DistHotRange:
+		return "hotrange"
+	default:
+		return fmt.Sprintf("dist(%d)", uint8(d))
+	}
+}
+
+// zipfGen draws ranks in [1, n] Zipfian with parameter theta in (0, 1),
+// using the Gray et al. quick-Zipf inversion popularized by YCSB: O(n)
+// precomputation of the harmonic normalizer, O(1) per draw. The
+// generator is immutable after construction and safe to share across
+// worker goroutines (each supplies its own PRNG).
+type zipfGen struct {
+	n            uint64
+	theta        float64
+	alpha        float64
+	zetan        float64
+	eta          float64
+	thresh1, th2 float64
+}
+
+func newZipfGen(n uint64, theta float64) *zipfGen {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 || math.IsNaN(theta) {
+		theta = 0.99
+	}
+	zetan := 0.0
+	for i := uint64(1); i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	alpha := 1 / (1 - theta)
+	eta := (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	return &zipfGen{
+		n:       n,
+		theta:   theta,
+		alpha:   alpha,
+		zetan:   zetan,
+		eta:     eta,
+		thresh1: 1 / zetan,
+		th2:     (1 + math.Pow(0.5, theta)) / zetan,
+	}
+}
+
+// draw returns a rank in [1, n].
+func (z *zipfGen) draw(rng *xrand.State) uint64 {
+	u := rng.Float64()
+	if u < z.thresh1 {
+		return 1
+	}
+	if u < z.th2 {
+		return 2
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		return z.n
+	}
+	return r + 1
+}
+
+// keyGen produces the update keys for one worker: a draw function over
+// the worker's key interval [lo, hi] (inclusive), following cfg.Dist.
+// zg is the shared Zipf generator (nil unless cfg.Dist == DistZipf).
+func keyGen(cfg Config, zg *zipfGen, lo, hi uint64) func(rng *xrand.State) uint64 {
+	size := hi - lo + 1
+	switch cfg.Dist {
+	case DistZipf:
+		// Ranks are drawn over the full generator and folded into the
+		// worker's interval, so a pinned worker sees the same shape.
+		return func(rng *xrand.State) uint64 {
+			r := zg.draw(rng) - 1
+			if r >= size {
+				r %= size
+			}
+			return lo + r
+		}
+	case DistHotRange:
+		opFrac := cfg.HotOpFrac
+		if opFrac <= 0 || opFrac > 1 || math.IsNaN(opFrac) {
+			opFrac = DefaultHotOpFrac
+		}
+		keyFrac := cfg.HotKeyFrac
+		if keyFrac <= 0 || keyFrac > 1 || math.IsNaN(keyFrac) {
+			keyFrac = DefaultHotKeyFrac
+		}
+		hot := uint64(float64(size) * keyFrac)
+		if hot == 0 {
+			hot = 1
+		}
+		return func(rng *xrand.State) uint64 {
+			if rng.Float64() < opFrac {
+				return lo + rng.Uint64n(hot)
+			}
+			return lo + rng.Uint64n(size)
+		}
+	default:
+		return func(rng *xrand.State) uint64 {
+			return lo + rng.Uint64n(size)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"htmtree/internal/engine"
+	"htmtree/internal/xrand"
+)
+
+// TestZipfGenSkewAndBounds checks the quick-Zipf generator stays in
+// [1, n] and is actually skewed: the first percentile of ranks should
+// absorb far more than its uniform share of the draws.
+func TestZipfGenSkewAndBounds(t *testing.T) {
+	t.Parallel()
+	const n, draws = 10000, 200000
+	zg := newZipfGen(n, 0.99)
+	rng := xrand.New(42, 0)
+	lowHundred := 0
+	for i := 0; i < draws; i++ {
+		r := zg.draw(rng)
+		if r < 1 || r > n {
+			t.Fatalf("draw %d out of [1,%d]", r, n)
+		}
+		if r <= n/100 {
+			lowHundred++
+		}
+	}
+	// Theta 0.99 puts well over half the mass on the first 1% of ranks
+	// (a uniform generator would put 1% there).
+	if frac := float64(lowHundred) / draws; frac < 0.4 {
+		t.Fatalf("first 1%% of ranks drew %.3f of the mass; generator not Zipfian", frac)
+	}
+}
+
+// TestHotRangeKeyGen checks DistHotRange sends the configured fraction
+// of draws into the hot slice.
+func TestHotRangeKeyGen(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Dist: DistHotRange, HotOpFrac: 0.9, HotKeyFrac: 0.125, KeyRange: 8000}
+	gen := keyGen(cfg, nil, 1, 8000)
+	rng := xrand.New(7, 0)
+	const draws = 100000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		k := gen(rng)
+		if k < 1 || k > 8000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k <= 1000 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	// 90% targeted + ~1.25% of the uniform remainder ≈ 0.911.
+	if frac < 0.85 || frac > 0.97 {
+		t.Fatalf("hot slice drew %.3f of the mass, want ≈0.91", frac)
+	}
+}
+
+// TestPinnedUpdatersStayHome checks pinning keeps an updater's traffic
+// inside its home shard: a single pinned thread (home shard 0) must
+// put essentially all measured operations on shard 0 — and the trial
+// must still pass key-sum validation. (A multi-thread balance
+// assertion would measure the Go scheduler, not the router, on small
+// machines.)
+func TestPinnedUpdatersStayHome(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Structure: "bst", Algorithm: engine.AlgThreePath, Shards: 4, KeySpan: 4000}
+	d := spec.New()
+	res := Run(d, Config{
+		Threads:     1,
+		Duration:    50 * time.Millisecond,
+		KeyRange:    4000,
+		Kind:        Light,
+		Seed:        3,
+		PinUpdaters: true,
+	})
+	if !res.KeySumOK {
+		t.Fatal("pinned trial failed key-sum validation")
+	}
+	if res.Ops == 0 {
+		t.Fatal("pinned trial did no work")
+	}
+	if res.MaxShardShare < 0.99 {
+		t.Fatalf("pinned thread leaked off its home shard: MaxShardShare = %.3f, want ≈1.0",
+			res.MaxShardShare)
+	}
+
+	// The same trial unpinned spreads across all four shards.
+	res = Run(spec.New(), Config{
+		Threads:  1,
+		Duration: 50 * time.Millisecond,
+		KeyRange: 4000,
+		Kind:     Light,
+		Seed:     3,
+	})
+	if !res.KeySumOK {
+		t.Fatal("unpinned trial failed key-sum validation")
+	}
+	if res.MaxShardShare > 0.5 {
+		t.Fatalf("unpinned MaxShardShare = %.3f, want ≈0.25", res.MaxShardShare)
+	}
+}
+
+// TestPinnedUpdaterIntervals checks the per-thread interval derivation:
+// threads map round-robin onto shards and intersect the trial key
+// range.
+func TestPinnedUpdaterIntervals(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Structure: "bst", Algorithm: engine.AlgNonHTM, Shards: 4, KeySpan: 4000}
+	d := spec.New()
+	cfg := Config{KeyRange: 4000, PinUpdaters: true}
+	for i := 0; i < 8; i++ {
+		lo, hi := updaterInterval(d, cfg, i)
+		shard := i % 4
+		wantLo := uint64(shard * 1000)
+		if wantLo < 1 {
+			wantLo = 1
+		}
+		wantHi := uint64(shard*1000 + 999)
+		if shard == 3 {
+			wantHi = 4000 // last shard clamped to the trial key range
+		}
+		if lo != wantLo || hi != wantHi {
+			t.Fatalf("thread %d interval [%d,%d], want [%d,%d]", i, lo, hi, wantLo, wantHi)
+		}
+	}
+	// Unpinned or unsharded: full range.
+	if lo, hi := updaterInterval(d, Config{KeyRange: 4000}, 2); lo != 1 || hi != 4000 {
+		t.Fatalf("unpinned interval [%d,%d]", lo, hi)
+	}
+}
+
+// TestSpecRouterNames pins the CSV labels of router specs.
+func TestSpecRouterNames(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Structure: "bst", Algorithm: engine.AlgThreePath, Shards: 8}, "bst/3-path/x8"},
+		{Spec{Structure: "bst", Algorithm: engine.AlgThreePath, Shards: 8, Router: "range"}, "bst/3-path/x8"},
+		{Spec{Structure: "bst", Algorithm: engine.AlgThreePath, Shards: 8, Router: "hash"}, "bst/3-path/x8/hash"},
+		{Spec{Structure: "abtree", Algorithm: engine.AlgThreePath, Shards: 4, Router: "adaptive", AtomicRQ: true}, "abtree/3-path/x4/adaptive/atomic"},
+	} {
+		if got := tc.spec.Name(); got != tc.want {
+			t.Fatalf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestSpecRouterConstruction smoke-tests that hash and adaptive specs
+// build working dictionaries.
+func TestSpecRouterConstruction(t *testing.T) {
+	t.Parallel()
+	for _, router := range []string{"range", "hash", "adaptive"} {
+		d := Spec{
+			Structure: "bst", Algorithm: engine.AlgThreePath,
+			Shards: 4, KeySpan: 1000, Router: router,
+		}.New()
+		h := d.NewHandle()
+		for k := uint64(1); k <= 100; k++ {
+			h.Insert(k, k)
+		}
+		if v, ok := h.Search(50); !ok || v != 50 {
+			t.Fatalf("router %s: Search(50) = (%d,%v)", router, v, ok)
+		}
+		if out := h.RangeQuery(1, 101, nil); len(out) != 100 {
+			t.Fatalf("router %s: RQ returned %d pairs", router, len(out))
+		}
+		if sum, count := d.KeySum(); count != 100 || sum != 5050 {
+			t.Fatalf("router %s: KeySum = (%d,%d)", router, sum, count)
+		}
+	}
+}

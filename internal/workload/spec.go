@@ -33,19 +33,32 @@ type Spec struct {
 	// AtomicRQ makes cross-shard RangeQuery and KeySum atomic via
 	// per-shard version validation (ignored when unsharded).
 	AtomicRQ bool
+	// Router selects the shard routing policy: "" or "range" (the
+	// contiguous default), "hash" (skew-oblivious scattering), or
+	// "adaptive" (range routing plus live key-range rebalancing).
+	// Ignored when unsharded.
+	Router string
+	// RebalanceCheckOps and RebalanceRatio tune the adaptive router's
+	// evaluation cadence and trigger threshold (0 selects the shard
+	// layer defaults). Ignored unless Router is "adaptive".
+	RebalanceCheckOps int
+	RebalanceRatio    float64
 	// HTM overrides the simulated-HTM configuration.
 	HTM htm.Config
 }
 
 // Name returns a compact label, e.g. "abtree/3-path/x8" or
-// "abtree/3-path/x8/atomic". An explicit Shards of 1 is labeled "/x1"
+// "abtree/3-path/x8/hash". An explicit Shards of 1 is labeled "/x1"
 // so a shard sweep's baseline stays distinguishable from unsharded
-// (Shards == 0) series, and atomic-RQ specs are suffixed so the two
-// consistency modes cannot be confused in CSV output.
+// (Shards == 0) series; non-default routers and atomic-RQ specs are
+// suffixed so configurations cannot be confused in CSV output.
 func (s Spec) Name() string {
 	n := s.Structure + "/" + s.Algorithm.String()
 	if s.Shards >= 1 {
 		n += fmt.Sprintf("/x%d", s.Shards)
+	}
+	if s.Router != "" && s.Router != "range" {
+		n += "/" + s.Router
 	}
 	if s.AtomicRQ {
 		n += "/atomic"
@@ -80,14 +93,31 @@ func (s Spec) New() dict.Dict {
 	if s.Shards <= 1 {
 		return mk(nil)
 	}
-	d, err := shard.New(shard.Config{
+	scfg := shard.Config{
 		Shards:  s.Shards,
 		KeySpan: s.KeySpan,
 		Atomic:  s.AtomicRQ,
 		New:     func(_ int, mon *engine.UpdateMonitor) dict.Dict { return mk(mon) },
-	})
+	}
+	switch s.Router {
+	case "", "range":
+	case "hash":
+		r, err := shard.NewHashRouter(s.Shards)
+		if err != nil {
+			panic(fmt.Sprintf("workload: %v", err))
+		}
+		scfg.Router = r
+	case "adaptive":
+		scfg.Rebalance = &shard.RebalanceConfig{
+			CheckOps: s.RebalanceCheckOps,
+			Ratio:    s.RebalanceRatio,
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown router %q", s.Router))
+	}
+	d, err := shard.New(scfg)
 	if err != nil {
-		panic(fmt.Sprintf("workload: %v", err)) // only reachable via invalid Shards
+		panic(fmt.Sprintf("workload: %v", err)) // only reachable via an invalid Spec
 	}
 	return d
 }

@@ -16,6 +16,7 @@ import (
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
+	"htmtree/internal/shard"
 	"htmtree/internal/xrand"
 )
 
@@ -64,6 +65,35 @@ type Config struct {
 	Seed uint64
 	// SkipPrefill leaves the structure empty at trial start.
 	SkipPrefill bool
+
+	// Dist selects the update threads' key distribution (default
+	// DistUniform, the paper's methodology). DistZipf and DistHotRange
+	// model skewed traffic that collapses a range-routed sharded tree
+	// onto one shard.
+	Dist KeyDist
+	// ZipfTheta is the Zipf parameter in (0, 1) for DistZipf (default
+	// 0.99, the YCSB convention; larger is more skewed).
+	ZipfTheta float64
+	// HotOpFrac and HotKeyFrac parameterize DistHotRange: HotOpFrac of
+	// the operations target the lowest HotKeyFrac slice of the key range
+	// (defaults DefaultHotOpFrac and DefaultHotKeyFrac).
+	HotOpFrac, HotKeyFrac float64
+	// PinUpdaters pins each update thread to one home shard: thread i
+	// draws its keys from shard (i mod NumShards)'s key bounds, so
+	// updaters never contend across shard boundaries — the
+	// conflict-domain win sharding exists for, made explicit. Requires a
+	// dictionary exposing NumShards/Bounds with contiguous per-shard
+	// bounds (a range-routed shard.Dict); otherwise threads fall back to
+	// the full key range.
+	PinUpdaters bool
+}
+
+// ShardInfo is implemented by sharded dictionaries that expose their
+// partition layout (shard.Dict). PinUpdaters uses it to give each
+// updater a home shard.
+type ShardInfo interface {
+	NumShards() int
+	Bounds(i int) (lo, hi uint64)
 }
 
 // Result reports one trial.
@@ -83,6 +113,29 @@ type Result struct {
 	KeySumOK bool
 	// FinalSize is the number of keys at the end of the trial.
 	FinalSize uint64
+	// Rebalance reports live shard-rebalancing activity (zero unless
+	// the dictionary is a shard.Dict with rebalancing enabled).
+	Rebalance shard.RebalanceStats
+	// MaxShardShare is the fraction of the trial's per-shard engine
+	// operations served by the busiest shard (prefill excluded): 1/N is
+	// perfectly balanced, 1.0 is total collapse onto one shard. Zero
+	// when the dictionary is not sharded. This is the router-quality
+	// metric: a skewed key distribution drives it toward 1 under static
+	// range routing, while hash and adaptive routing hold it near 1/N —
+	// on multi-core hosts the difference is exactly the serialized
+	// fraction of the conflict domain.
+	MaxShardShare float64
+}
+
+// shardOpTotals returns each shard's cumulative engine operation count.
+func shardOpTotals(sd *shard.Dict) []uint64 {
+	tot := make([]uint64, sd.NumShards())
+	for i := range tot {
+		if sp, ok := sd.Shard(i).(StatsProvider); ok {
+			tot[i] = sp.OpStats().Total()
+		}
+	}
+	return tot
 }
 
 // Prefill inserts each key of [1, KeyRange] independently with
@@ -168,6 +221,20 @@ func Run(d dict.Dict, cfg Config) Result {
 		baseSum, baseCount = Prefill(d, cfg)
 	}
 
+	// Shared Zipf state (O(KeyRange) harmonic precomputation, done once
+	// per trial; draws are O(1) and contention-free).
+	var zg *zipfGen
+	if cfg.Dist == DistZipf {
+		zg = newZipfGen(cfg.KeyRange, cfg.ZipfTheta)
+	}
+
+	// Per-shard operation baseline, so MaxShardShare reflects only the
+	// measured window, not the (uniform) prefill.
+	var shardBase []uint64
+	if sd, ok := d.(*shard.Dict); ok {
+		shardBase = shardOpTotals(sd)
+	}
+
 	var stop atomic.Bool
 	type delta struct {
 		ops, updates, rqs uint64
@@ -187,6 +254,8 @@ func Run(d dict.Dict, cfg Config) Result {
 			h := d.NewHandle()
 			rng := xrand.New(cfg.Seed, uint64(i)+1)
 			isRQ := cfg.Kind == Heavy && i == cfg.Threads-1
+			klo, khi := updaterInterval(d, cfg, i)
+			gen := keyGen(cfg, zg, klo, khi)
 			var out []dict.KV
 			ready.Done()
 			<-start
@@ -197,7 +266,7 @@ func Run(d dict.Dict, cfg Config) Result {
 					out = h.RangeQuery(lo, lo+RQLen(rng, cfg.RQSizeMax), out[:0])
 					st.rqs++
 				} else {
-					k := rng.Uint64n(cfg.KeyRange) + 1
+					k := gen(rng)
 					if rng.Next()&1 == 0 {
 						if _, existed := h.Insert(k, k); !existed {
 							st.sum += int64(k)
@@ -241,5 +310,52 @@ func Run(d dict.Dict, cfg Config) Result {
 		res.PathStats = sp.OpStats()
 		res.HTMStats = sp.HTMStats()
 	}
+	if sd, ok := d.(*shard.Dict); ok {
+		res.Rebalance = sd.RebalanceStats()
+		tot := shardOpTotals(sd)
+		var sum, max uint64
+		for i := range tot {
+			delta := tot[i] - shardBase[i]
+			sum += delta
+			if delta > max {
+				max = delta
+			}
+		}
+		if sum > 0 {
+			res.MaxShardShare = float64(max) / float64(sum)
+		}
+	}
 	return res
+}
+
+// updaterInterval returns the inclusive key interval [lo, hi] update
+// thread i draws from: the full [1, KeyRange] by default, or the
+// thread's home-shard slice of it when cfg.PinUpdaters and the
+// dictionary exposes its partition layout. An empty intersection
+// (a shard entirely outside the trial's key range, or hash routing's
+// full-space bounds) falls back to the full range.
+func updaterInterval(d dict.Dict, cfg Config, i int) (lo, hi uint64) {
+	lo, hi = 1, cfg.KeyRange
+	if !cfg.PinUpdaters {
+		return lo, hi
+	}
+	si, ok := d.(ShardInfo)
+	if !ok {
+		return lo, hi
+	}
+	n := si.NumShards()
+	if n < 1 {
+		return lo, hi
+	}
+	blo, bhi := si.Bounds(i % n) // bhi exclusive
+	if blo < 1 {
+		blo = 1
+	}
+	if bhi > cfg.KeyRange+1 || bhi == 0 {
+		bhi = cfg.KeyRange + 1
+	}
+	if blo >= bhi {
+		return lo, hi // empty slice: stay unpinned
+	}
+	return blo, bhi - 1
 }
