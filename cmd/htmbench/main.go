@@ -22,13 +22,19 @@
 //	-experiment skew      range vs hash vs adaptive shard routing under a
 //	                      Zipfian key distribution (beyond the paper: the
 //	                      router abstraction and live rebalancing)
+//	-experiment batchamortize batched vs unbatched point-op throughput as
+//	                      batch size grows, with the amortized router-
+//	                      lookup and monitor-bracket counts (beyond the
+//	                      paper: the async batching subsystem)
 //	-experiment all       everything above
 //
 // -experiment also accepts a comma-separated list (e.g.
 // "skew,rqconsistency"). The -shards flag partitions every tree in the
 // figure experiments across N shards (default 1, the paper's unsharded
-// configuration); -router selects the shard routing policy and -zipf
-// switches the update key distribution to Zipfian with the given theta.
+// configuration); -router selects the shard routing policy, -zipf
+// switches the update key distribution to Zipfian with the given theta,
+// and -batch runs the update threads through the asynchronous batched
+// path with N-op batches.
 package main
 
 import (
@@ -68,6 +74,7 @@ type options struct {
 	shards     int
 	router     string
 	zipf       float64
+	batch      int
 }
 
 func main() {
@@ -93,6 +100,7 @@ func run() error {
 	flag.IntVar(&o.shards, "shards", 1, "partition each tree across N shards (1 = unsharded)")
 	flag.StringVar(&o.router, "router", "range", "shard routing policy: range|hash|adaptive")
 	flag.Float64Var(&o.zipf, "zipf", 0, "Zipfian update-key theta in (0,1); 0 = uniform keys")
+	flag.IntVar(&o.batch, "batch", 1, "batch update threads' operations N at a time through the async pipeline (1 = unbatched)")
 	flag.Parse()
 
 	if o.shards < 1 {
@@ -105,6 +113,9 @@ func run() error {
 	}
 	if o.zipf < 0 || o.zipf >= 1 {
 		return fmt.Errorf("bad -zipf %v (want 0, or theta in (0,1))", o.zipf)
+	}
+	if o.batch < 1 {
+		return fmt.Errorf("bad -batch %d (want >= 1)", o.batch)
 	}
 
 	for _, part := range strings.Split(threadsFlag, ",") {
@@ -123,7 +134,8 @@ func run() error {
 		}
 		if e == "all" {
 			exps = append(exps, "fig14", "fig16", "fig17", "pathusage", "sec8",
-				"sec10", "headline", "shardscale", "rqconsistency", "skew")
+				"sec10", "headline", "shardscale", "rqconsistency", "skew",
+				"batchamortize")
 			continue
 		}
 		exps = append(exps, e)
@@ -133,7 +145,7 @@ func run() error {
 	for _, e := range exps {
 		switch e {
 		case "fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
-			"headline", "shardscale", "rqconsistency", "skew":
+			"headline", "shardscale", "rqconsistency", "skew", "batchamortize":
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -160,6 +172,8 @@ func run() error {
 			rqConsistency(o)
 		case "skew":
 			skew(o)
+		case "batchamortize":
+			batchAmortize(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -229,6 +243,9 @@ func trial(o options, mk func() dict.Dict, cfg workload.Config) (float64, worklo
 	if o.zipf > 0 {
 		cfg.Dist = workload.DistZipf
 		cfg.ZipfTheta = o.zipf
+	}
+	if o.batch > 1 && cfg.BatchOps == 0 {
+		cfg.BatchOps = o.batch
 	}
 	tputs := make([]float64, 0, o.trials)
 	var last workload.Result
@@ -496,6 +513,69 @@ func skew(o options) {
 			fmt.Printf("%s,%s,%d,%d,%.0f,%.2f,%.3f,%d,%d\n",
 				ds.structure, router, shards, n, med, speedup,
 				res.MaxShardShare, res.Rebalance.Migrations, res.Rebalance.KeysMoved)
+		}
+	}
+}
+
+// batchAmortize sweeps the async batch size against the unbatched
+// baseline on a sharded tree: updaters enqueue point operations into
+// per-thread pipelines that flush as sorted, shard-grouped batches, so
+// each group pays one router lookup and one monitor admission instead
+// of one per op. Reported are throughput (speedup over batch=1) and
+// the amortization factors themselves — ops per router lookup and per
+// monitor bracket — which separate the batching win from host noise:
+// on a single core the throughput columns barely move, but the
+// amortized counts drop by roughly the group size regardless of host.
+// The tree rebalances (router "adaptive") with the evaluation window
+// pushed out of reach, so every update pays shard-level admission —
+// the bracket the batch path amortizes — without migrations moving
+// the measurement.
+func batchAmortize(o options) {
+	shards := o.shards
+	if shards < 2 {
+		shards = 8 // the experiment is about amortizing per-shard dispatch
+	}
+	n := o.threads[len(o.threads)-1]
+	fmt.Printf("# Batch amortization: batched vs unbatched updates (3-path, %d shards, light workload)\n", shards)
+	fmt.Println("structure,shards,threads,batch,throughput,speedup_vs_unbatched,groups,ops_per_group,ops_per_router_lookup,ops_per_monitor_bracket")
+	for _, ds := range specs(o) {
+		var base float64
+		for _, b := range []int{1, 8, 16, 32, 64, 128} {
+			spec := workload.Spec{
+				Structure: ds.structure,
+				Algorithm: engine.AlgThreePath,
+				Shards:    shards,
+				KeySpan:   ds.keyRange,
+				Router:    "adaptive",
+				// Keep migrations out of the measurement window; the
+				// admitting handles (and their per-op monitor brackets)
+				// remain.
+				RebalanceCheckOps: 1 << 30,
+			}
+			med, res := trial(o, spec.New, workload.Config{
+				Threads:  n,
+				Duration: o.duration,
+				KeyRange: ds.keyRange,
+				Kind:     workload.Light,
+				BatchOps: b,
+			})
+			if b == 1 {
+				base = med
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = med / base
+			}
+			opsPer := func(den uint64) float64 {
+				if den == 0 {
+					return 0
+				}
+				return float64(res.Batch.Ops) / float64(den)
+			}
+			fmt.Printf("%s,%d,%d,%d,%.0f,%.2f,%d,%.1f,%.1f,%.1f\n",
+				ds.structure, shards, n, b, med, speedup,
+				res.Batch.Groups, opsPer(res.Batch.Groups),
+				opsPer(res.Batch.RouterLookups), opsPer(res.Batch.MonitorEnters))
 		}
 	}
 }

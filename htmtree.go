@@ -35,8 +35,10 @@ package htmtree
 
 import (
 	"fmt"
+	"time"
 
 	"htmtree/internal/abtree"
+	"htmtree/internal/batch"
 	"htmtree/internal/bst"
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
@@ -171,6 +173,25 @@ type Config struct {
 	// cross-shard read before it escalates to quiescing the overlapping
 	// shards (default 8). Ignored unless AtomicRangeQueries.
 	RQRetries int
+
+	// BatchMaxOps is the buffer size at which an asynchronous handle
+	// (NewAsyncHandle, Handle.Batch) flushes its pending operations as
+	// one sorted, shard-grouped batch (default 64). Larger batches
+	// amortize routing and admission overhead further but delay
+	// results longer.
+	BatchMaxOps int
+	// BatchMaxDelay bounds how long an asynchronous operation may sit
+	// buffered before a background timer flushes it (0, the default,
+	// disables the timer: the buffer flushes only on size, RangeQuery,
+	// Flush, or Wait). Applies to NewAsyncHandle; Handle.Batch contexts
+	// never arm the timer so the underlying Handle stays usable from
+	// its own goroutine.
+	BatchMaxDelay time.Duration
+	// BatchRQNoFlush leaves buffered point operations in place when an
+	// asynchronous RangeQuery arrives. By default the query flushes
+	// them first, so it observes the handle's own pending writes
+	// (read-your-writes).
+	BatchRQNoFlush bool
 }
 
 func (c Config) algorithm() (engine.Algorithm, error) {
@@ -227,11 +248,53 @@ type Tree struct {
 	d          dict.Dict
 	stats      statsSource
 	invariants func(strict bool) error
+
+	// batchCfg templates the pipelines behind NewAsyncHandle and
+	// Handle.Batch; batchCtrs aggregates their flush activity for
+	// Stats.Batch.
+	batchCfg  batch.Config
+	batchCtrs *batch.Counters
+}
+
+// setBatchConfig validates the async-batching knobs and installs the
+// pipeline template every constructor shares.
+func (t *Tree) setBatchConfig(cfg Config) error {
+	if cfg.BatchMaxOps < 0 {
+		return fmt.Errorf("htmtree: Config.BatchMaxOps = %d (want >= 0; 0 selects the default %d)",
+			cfg.BatchMaxOps, batch.DefaultMaxOps)
+	}
+	if cfg.BatchMaxDelay < 0 {
+		return fmt.Errorf("htmtree: Config.BatchMaxDelay = %v (want >= 0; 0 disables the flush timer)",
+			cfg.BatchMaxDelay)
+	}
+	t.batchCtrs = &batch.Counters{}
+	t.batchCfg = batch.Config{
+		MaxOps:       cfg.BatchMaxOps,
+		MaxDelay:     cfg.BatchMaxDelay,
+		RangeNoFlush: cfg.BatchRQNoFlush,
+		Counters:     t.batchCtrs,
+	}
+	return nil
+}
+
+// withBatch finishes a constructed tree by installing the async
+// batching configuration (all four public constructors go through it).
+func withBatch(t *Tree, err error, cfg Config) (*Tree, error) {
+	if err != nil {
+		return nil, err
+	}
+	if err := t.setBatchConfig(cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // NewBST creates an unbalanced external binary search tree (paper
 // Section 6.1).
-func NewBST(cfg Config) (*Tree, error) { return newBST(cfg, nil) }
+func NewBST(cfg Config) (*Tree, error) {
+	t, err := newBST(cfg, nil)
+	return withBatch(t, err, cfg)
+}
 
 func newBST(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 	alg, err := cfg.algorithm()
@@ -256,7 +319,10 @@ func newBST(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 }
 
 // NewABTree creates a relaxed (a,b)-tree (paper Section 6.2).
-func NewABTree(cfg Config) (*Tree, error) { return newABTree(cfg, nil) }
+func NewABTree(cfg Config) (*Tree, error) {
+	t, err := newABTree(cfg, nil)
+	return withBatch(t, err, cfg)
+}
 
 func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 	alg, err := cfg.algorithm()
@@ -362,23 +428,56 @@ func (emptyDict) KeySum() (sum, count uint64) { return 0, 0 }
 // atomic across shards when cfg.AtomicRangeQueries is set; KeySum,
 // Stats, and CheckInvariants aggregate.
 func NewShardedBST(cfg Config) (*Tree, error) {
-	return newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
+	t, err := newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
 		return newBST(cfg, mon)
 	})
+	return withBatch(t, err, cfg)
 }
 
 // NewShardedABTree creates a sharded relaxed (a,b)-tree; see
 // NewShardedBST for the partitioning contract.
 func NewShardedABTree(cfg Config) (*Tree, error) {
-	return newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
+	t, err := newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
 		return newABTree(cfg, mon)
 	})
+	return withBatch(t, err, cfg)
 }
 
 // NewHandle registers a per-goroutine handle. Handles must not be shared
 // between goroutines.
 func (t *Tree) NewHandle() *Handle {
-	return &Handle{h: t.d.NewHandle()}
+	return &Handle{t: t, h: t.d.NewHandle()}
+}
+
+// NewAsyncHandle registers a per-goroutine asynchronous handle: point
+// operations enqueue into a batch buffer and return futures, and the
+// buffer flushes as one key-sorted, shard-grouped batch when it
+// reaches Config.BatchMaxOps, when Config.BatchMaxDelay elapses, on an
+// asynchronous RangeQuery (unless Config.BatchRQNoFlush), on Flush, or
+// when a future of a still-buffered operation is waited on. On a
+// sharded tree each shard-group executes with one router lookup and
+// one monitor admission instead of one per operation — the batching
+// subsystem's amortization, reported by Stats.Batch.
+//
+// One goroutine should enqueue per AsyncHandle (like Handle); with
+// BatchMaxDelay set, the background timer may flush concurrently,
+// which the handle synchronizes internally.
+func (t *Tree) NewAsyncHandle() *AsyncHandle {
+	return &AsyncHandle{p: batch.New(t.d.NewHandle(), t.batchCfg)}
+}
+
+// Batch returns an asynchronous batching context over this handle's
+// registration. It shares the underlying per-goroutine handle: while
+// batched operations are pending, direct Handle calls would interleave
+// with a flush, so use one style at a time (Flush drains the context,
+// after which the Handle is plainly usable again). Unlike
+// NewAsyncHandle, a Batch context never arms the BatchMaxDelay timer —
+// flushes happen only on size, RangeQuery, Flush, or Wait, always on
+// the calling goroutine.
+func (h *Handle) Batch() *AsyncHandle {
+	cfg := h.t.batchCfg
+	cfg.MaxDelay = 0
+	return &AsyncHandle{p: batch.New(h.h, cfg)}
 }
 
 // KeySum returns the sum and count of the keys present (the paper's
@@ -392,6 +491,7 @@ func (t *Tree) CheckInvariants() error { return t.invariants(true) }
 
 // Handle is a per-goroutine handle to a Tree.
 type Handle struct {
+	t   *Tree
 	h   dict.Handle
 	buf []dict.KV
 }
@@ -422,6 +522,107 @@ func (h *Handle) RangeQuery(lo, hi uint64, out []KV) []KV {
 	return out
 }
 
+// AsyncHandle is a per-goroutine asynchronous, batching handle to a
+// Tree (see Tree.NewAsyncHandle and Handle.Batch). Operations on
+// different keys may be reordered within a batch (execution is sorted
+// by key and grouped by shard); operations on the same key keep their
+// enqueue order, and every future resolves to the result its operation
+// saw at its place in that execution.
+type AsyncHandle struct {
+	p *batch.Pipeline
+}
+
+// Insert enqueues an asynchronous insert. The future resolves to the
+// previous value and whether the key already existed.
+func (h *AsyncHandle) Insert(key, val uint64) PointFuture {
+	return PointFuture{p: h.p.Insert(key, val)}
+}
+
+// Delete enqueues an asynchronous delete. The future resolves to the
+// removed value and whether the key was present.
+func (h *AsyncHandle) Delete(key uint64) PointFuture {
+	return PointFuture{p: h.p.Delete(key)}
+}
+
+// Search enqueues an asynchronous search. The future resolves to the
+// value found and whether the key was present at the operation's place
+// in the batch — a search enqueued after an insert of the same key
+// sees that insert.
+func (h *AsyncHandle) Search(key uint64) PointFuture {
+	return PointFuture{p: h.p.Search(key)}
+}
+
+// RangeQuery runs an asynchronous range query over [lo, hi). Unless
+// the tree was configured with BatchRQNoFlush it first flushes the
+// buffered point operations (read-your-writes). The returned future is
+// already completed; it exists for OnComplete chaining symmetry.
+func (h *AsyncHandle) RangeQuery(lo, hi uint64) RangeFuture {
+	return RangeFuture{p: h.p.RangeQuery(lo, hi)}
+}
+
+// Flush executes every buffered operation now and completes its
+// future. Flushing an empty handle is a no-op.
+func (h *AsyncHandle) Flush() { h.p.Flush() }
+
+// Pending returns the number of buffered, not yet executed operations.
+func (h *AsyncHandle) Pending() int { return h.p.Pending() }
+
+// PointFuture is the result of an asynchronous Insert, Delete, or
+// Search. The zero value is invalid; futures come from AsyncHandle.
+type PointFuture struct {
+	p *batch.PointPromise
+}
+
+// Wait blocks until the operation executed and returns its result —
+// (previous value, existed) for Insert and Delete, (value, found) for
+// Search. Waiting on a still-buffered operation flushes the owning
+// handle first; calling Wait repeatedly returns the same result.
+func (f PointFuture) Wait() (val uint64, ok bool) {
+	r := f.p.Wait()
+	return r.Val, r.OK
+}
+
+// Done reports whether the result is available without blocking.
+func (f PointFuture) Done() bool { return f.p.Done() }
+
+// OnComplete registers fn to run with the result once the operation
+// executes (immediately, on the caller, if it already has). fn runs on
+// the flushing goroutine and must not call back into the owning
+// asynchronous handle.
+func (f PointFuture) OnComplete(fn func(val uint64, ok bool)) {
+	f.p.OnComplete(func(r batch.PointResult) { fn(r.Val, r.OK) })
+}
+
+// RangeFuture is the result of an asynchronous RangeQuery.
+type RangeFuture struct {
+	p *batch.RangePromise
+}
+
+// Wait returns the query's pairs in ascending key order.
+func (f RangeFuture) Wait() []KV {
+	pairs := f.p.Wait()
+	out := make([]KV, len(pairs))
+	for i, p := range pairs {
+		out[i] = KV{Key: p.Key, Val: p.Val}
+	}
+	return out
+}
+
+// Done reports whether the result is available without blocking.
+func (f RangeFuture) Done() bool { return f.p.Done() }
+
+// OnComplete registers fn to run with the result once the query
+// executes; see PointFuture.OnComplete for the callback contract.
+func (f RangeFuture) OnComplete(fn func([]KV)) {
+	f.p.OnComplete(func(pairs []dict.KV) {
+		out := make([]KV, len(pairs))
+		for i, p := range pairs {
+			out[i] = KV{Key: p.Key, Val: p.Val}
+		}
+		fn(out)
+	})
+}
+
 // PathCounts counts events per execution path.
 type PathCounts struct {
 	Fast, Middle, Fallback uint64
@@ -437,6 +638,35 @@ type RangeQueryStats struct {
 	// invalidated by concurrent updates, and Escalations the reads that
 	// exhausted the optimistic budget and briefly quiesced their shards.
 	Attempts, Retries, Escalations uint64
+}
+
+// BatchStats counts batched/asynchronous execution activity. The
+// amortization batching exists for reads off directly: an unbatched
+// stream pays one router lookup (and, on a rebalancing sharded tree,
+// one monitor admission) per operation, so GroupOps/RouterLookups and
+// GroupOps/MonitorBrackets are the factors by which batching cut that
+// per-operation overhead.
+type BatchStats struct {
+	// Flushes counts non-empty buffer flushes across the tree's
+	// asynchronous handles and BatchedOps the point operations they
+	// carried (BatchedOps/Flushes is the realized mean batch size).
+	Flushes, BatchedOps uint64
+	// SizeFlushes, TimerFlushes, ExplicitFlushes and RangeFlushes split
+	// Flushes by trigger: the BatchMaxOps threshold, the BatchMaxDelay
+	// timer, an explicit Flush or Wait, and a flushing RangeQuery.
+	SizeFlushes, TimerFlushes, ExplicitFlushes, RangeFlushes uint64
+	// Groups counts the per-shard groups batches executed as and
+	// GroupOps the operations they carried (sharded trees only;
+	// GroupOps/Groups is the realized per-shard locality).
+	Groups, GroupOps uint64
+	// RouterLookups counts routing decisions taken by group execution
+	// and MonitorBrackets the shard-level admissions — one per group
+	// where unbatched dispatch pays one per op.
+	RouterLookups, MonitorBrackets uint64
+	// Restarts counts groups re-routed because a live migration swapped
+	// the routing table mid-batch (the batch then re-executed its
+	// remaining operations under the new table).
+	Restarts uint64
 }
 
 // RebalanceStats counts live shard-rebalancing activity (RouterAdaptive).
@@ -464,6 +694,9 @@ type Stats struct {
 	// Rebalance reports live shard-rebalancing activity; all zero
 	// unless the tree is sharded with RouterAdaptive.
 	Rebalance RebalanceStats
+	// Batch reports batched/asynchronous execution activity; all zero
+	// until an AsyncHandle (or Handle.Batch context) flushes.
+	Batch BatchStats
 }
 
 // Stats returns a snapshot of the tree's statistics. Safe to call while
@@ -492,6 +725,18 @@ func (t *Tree) Stats() Stats {
 			}
 		}
 	}
+	var bs batch.Stats
+	if t.batchCtrs != nil {
+		bs = t.batchCtrs.Snapshot()
+	}
+	s.Batch = BatchStats{
+		Flushes:         bs.Flushes,
+		BatchedOps:      bs.FlushedOps,
+		SizeFlushes:     bs.SizeFlushes,
+		TimerFlushes:    bs.TimerFlushes,
+		ExplicitFlushes: bs.ExplicitFlushes,
+		RangeFlushes:    bs.RangeFlushes,
+	}
 	if sd, ok := t.d.(*shard.Dict); ok {
 		rs := sd.RQStats()
 		s.Range = RangeQueryStats{
@@ -505,6 +750,12 @@ func (t *Tree) Stats() Stats {
 			Migrations: rb.Migrations,
 			KeysMoved:  rb.KeysMoved,
 		}
+		gb := sd.BatchStats()
+		s.Batch.Groups = gb.Groups
+		s.Batch.GroupOps = gb.Ops
+		s.Batch.RouterLookups = gb.RouterLookups
+		s.Batch.MonitorBrackets = gb.MonitorEnters
+		s.Batch.Restarts = gb.Restarts
 	}
 	return s
 }

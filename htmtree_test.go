@@ -1,6 +1,7 @@
 package htmtree_test
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -232,5 +233,117 @@ func TestFacadeConcurrentUse(t *testing.T) {
 	st := tree.Stats()
 	if st.TxCommits.Fast == 0 {
 		t.Fatal("no fast-path commits recorded")
+	}
+}
+
+// TestAsyncHandleQuickstart exercises the asynchronous API end to end
+// on an unsharded tree: futures, callbacks, flush triggers, and
+// read-your-writes range queries.
+func TestAsyncHandleQuickstart(t *testing.T) {
+	t.Parallel()
+	tree, err := htmtree.NewABTree(htmtree.Config{BatchMaxOps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah := tree.NewAsyncHandle()
+	fut := ah.Insert(42, 420)
+	if fut.Done() {
+		t.Fatal("future resolved before any flush trigger")
+	}
+	if v, ok := ah.Search(42).Wait(); !ok || v != 420 {
+		t.Fatalf("async Search(42) = (%d,%v), want (420,true)", v, ok)
+	}
+	if _, ok := fut.Wait(); ok {
+		t.Fatal("first insert reported an existing key")
+	}
+	got := ah.RangeQuery(0, 100).Wait()
+	if len(got) != 1 || got[0].Key != 42 || got[0].Val != 420 {
+		t.Fatalf("async RangeQuery = %v", got)
+	}
+	st := tree.Stats()
+	if st.Batch.Flushes == 0 || st.Batch.BatchedOps != 2 {
+		t.Fatalf("Stats.Batch = %+v, want 2 batched ops", st.Batch)
+	}
+}
+
+// TestBatchContextOverHandle exercises Handle.Batch: the context
+// shares the handle's registration, flushes on the calling goroutine
+// only, and hands the handle back after Flush.
+func TestBatchContextOverHandle(t *testing.T) {
+	t.Parallel()
+	tree, err := htmtree.NewShardedBST(htmtree.Config{Shards: 4, ShardKeySpan: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tree.NewHandle()
+	b := h.Batch()
+	var futs []htmtree.PointFuture
+	for k := uint64(1); k <= 20; k++ {
+		futs = append(futs, b.Insert(k, k*10))
+	}
+	b.Flush()
+	for i, f := range futs {
+		if _, ok := f.Wait(); ok {
+			t.Fatalf("insert %d reported an existing key", i)
+		}
+	}
+	// The plain handle sees the batch's writes.
+	if v, ok := h.Search(7); !ok || v != 70 {
+		t.Fatalf("Search(7) through the shared handle = (%d,%v)", v, ok)
+	}
+}
+
+// TestBatchAmortizationCounts asserts the acceptance criterion on a
+// host-independent metric: at batch size 64 on an 8-shard rebalancing
+// tree, group execution must cut both the router-lookup and the
+// monitor-bracket count at least 4x versus unbatched dispatch (which
+// pays one of each per operation).
+func TestBatchAmortizationCounts(t *testing.T) {
+	t.Parallel()
+	const (
+		keySpan  = 1 << 16
+		batches  = 50
+		batchLen = 64
+	)
+	tree, err := htmtree.NewShardedABTree(htmtree.Config{
+		Shards:       8,
+		ShardKeySpan: keySpan,
+		Router:       htmtree.RouterAdaptive, // admitting handles: brackets are counted
+		// A huge evaluation window keeps migrations out of the
+		// measurement, so the counts reflect pure batched dispatch.
+		RebalanceCheckOps: 1 << 30,
+		BatchMaxOps:       batchLen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah := tree.NewAsyncHandle()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < batches*batchLen; i++ {
+		k := uint64(rng.Intn(keySpan)) + 1
+		if i%2 == 0 {
+			ah.Insert(k, k)
+		} else {
+			ah.Delete(k)
+		}
+	}
+	ah.Flush()
+	st := tree.Stats().Batch
+	if st.GroupOps != batches*batchLen {
+		t.Fatalf("GroupOps = %d, want %d", st.GroupOps, batches*batchLen)
+	}
+	if st.RouterLookups == 0 || st.MonitorBrackets == 0 {
+		t.Fatalf("amortization counters empty: %+v", st)
+	}
+	if ratio := float64(st.GroupOps) / float64(st.RouterLookups); ratio < 4 {
+		t.Fatalf("router lookups amortized only %.2fx (unbatched pays %d, batched paid %d)",
+			ratio, st.GroupOps, st.RouterLookups)
+	}
+	if ratio := float64(st.GroupOps) / float64(st.MonitorBrackets); ratio < 4 {
+		t.Fatalf("monitor brackets amortized only %.2fx (unbatched pays %d, batched paid %d)",
+			ratio, st.GroupOps, st.MonitorBrackets)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,313 @@
+// Package batch implements the asynchronous, batched operation layer
+// over a dictionary handle: point operations (Insert/Delete/Search)
+// enqueue into a per-pipeline buffer and return a Promise immediately;
+// when the buffer reaches Config.MaxOps (or Config.MaxDelay elapses, or
+// the client flushes explicitly, or a Promise is waited on), the whole
+// buffer is sorted stably by key and executed as one group.
+//
+// The point is amortization: the template's per-operation cost is
+// dominated by fixed overhead — handle dispatch, router lookup, and
+// (on rebalancing sharded trees) a monitor admission bracket per
+// operation (Brown, PODC 2017, Section 7 measures exactly this fixed
+// cost dominating at low contention). A handle that implements
+// dict.GroupExecutor (the shard layer's) receives the sorted group
+// whole and pays one routing-table acquisition and one monitor bracket
+// per shard-group instead of per op; any other handle still gains the
+// sorted key locality (adjacent keys traverse overlapping tree paths,
+// so the simulated HTM's read sets stay warm) with ops executed one by
+// one.
+//
+// # Ordering semantics
+//
+// A batch may reorder operations on different keys: execution order is
+// stable-sorted by key, then grouped by owning shard. Operations on the
+// same key keep their enqueue order (the sort is stable and a key's ops
+// all land in the same shard-group), so every promise resolves to the
+// value its operation would have seen in a sequential execution that
+// preserves per-key program order — which, for a dictionary, determines
+// every point result uniquely. Range queries are the sync points: by
+// default an asynchronous RangeQuery first flushes the buffered point
+// ops (read-your-writes), runs immediately, and returns an
+// already-completed promise; Config.RangeNoFlush trades that for
+// leaving the buffer in place.
+package batch
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htmtree/internal/dict"
+)
+
+// DefaultMaxOps is the flush threshold when Config.MaxOps is zero.
+const DefaultMaxOps = 64
+
+// Config tunes a Pipeline.
+type Config struct {
+	// MaxOps is the buffer size that triggers a flush (default
+	// DefaultMaxOps). 1 degenerates to synchronous execution through
+	// the batching machinery.
+	MaxOps int
+	// MaxDelay bounds how long an enqueued operation may sit in the
+	// buffer before a background timer flushes it (0 disables the
+	// timer: the buffer flushes only on size, RangeQuery, Flush, or
+	// Wait). With a timer the pipeline may flush from a background
+	// goroutine, which the pipeline lock makes safe against concurrent
+	// enqueues.
+	MaxDelay time.Duration
+	// RangeNoFlush leaves buffered point operations in place when an
+	// asynchronous RangeQuery arrives, so the query does not observe
+	// the pipeline's own pending writes. Default (false) flushes first:
+	// read-your-writes.
+	RangeNoFlush bool
+	// Counters, when non-nil, aggregates this pipeline's flush activity
+	// into a shared sink (the tree-level Stats.Batch); nil keeps the
+	// counts pipeline-private.
+	Counters *Counters
+}
+
+// Counters aggregates pipeline activity, safe for concurrent pipelines
+// to share.
+type Counters struct {
+	flushes    atomic.Uint64
+	flushedOps atomic.Uint64
+	sizeF      atomic.Uint64
+	timerF     atomic.Uint64
+	explicitF  atomic.Uint64
+	rangeF     atomic.Uint64
+}
+
+// Stats is a Counters snapshot.
+type Stats struct {
+	// Flushes counts non-empty buffer flushes, FlushedOps the point
+	// operations they carried (FlushedOps/Flushes is the realized mean
+	// batch size).
+	Flushes, FlushedOps uint64
+	// SizeFlushes, TimerFlushes, ExplicitFlushes and RangeFlushes split
+	// Flushes by trigger: the MaxOps threshold, the MaxDelay timer, an
+	// explicit Flush or Wait, and a flushing RangeQuery.
+	SizeFlushes, TimerFlushes, ExplicitFlushes, RangeFlushes uint64
+}
+
+// Snapshot returns the current counts. Safe to call while pipelines
+// run (the snapshot is then approximate).
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Flushes:         c.flushes.Load(),
+		FlushedOps:      c.flushedOps.Load(),
+		SizeFlushes:     c.sizeF.Load(),
+		TimerFlushes:    c.timerF.Load(),
+		ExplicitFlushes: c.explicitF.Load(),
+		RangeFlushes:    c.rangeF.Load(),
+	}
+}
+
+// RangePromise is the future of an asynchronous range query.
+type RangePromise = Promise[[]dict.KV]
+
+// pending is one buffered operation and its promise.
+type pending struct {
+	op dict.BatchOp
+	pr *PointPromise
+}
+
+// Pipeline buffers asynchronous operations over one dictionary handle.
+// It is safe for the enqueueing goroutine and the MaxDelay timer to
+// race; the underlying handle is only ever driven under the pipeline
+// lock, satisfying its one-goroutine-at-a-time contract. Sharing one
+// Pipeline between several enqueueing goroutines is legal but
+// serializes them; the intended shape is one pipeline per worker, like
+// handles.
+type Pipeline struct {
+	h   dict.Handle
+	ge  dict.GroupExecutor // non-nil when h supports group execution
+	cfg Config
+	ctr *Counters
+
+	mu         sync.Mutex
+	pend       []pending
+	ops        []dict.BatchOp // execution scratch, reused across flushes
+	slab       []PointPromise // block-allocated promises (one alloc per batch, not per op)
+	timer      *time.Timer
+	timerArmed bool
+}
+
+// New builds a pipeline over h. If h implements dict.GroupExecutor
+// (shard-layer handles do), flushed groups execute through it with
+// amortized routing and admission; otherwise ops execute one by one in
+// sorted order.
+func New(h dict.Handle, cfg Config) *Pipeline {
+	if cfg.MaxOps <= 0 {
+		cfg.MaxOps = DefaultMaxOps
+	}
+	ctr := cfg.Counters
+	if ctr == nil {
+		ctr = &Counters{}
+	}
+	ge, _ := h.(dict.GroupExecutor)
+	return &Pipeline{h: h, ge: ge, cfg: cfg, ctr: ctr}
+}
+
+// Insert enqueues an asynchronous insert. The promise resolves to the
+// previous value and whether the key already existed, as Handle.Insert
+// would have returned at the operation's place in the batch.
+func (p *Pipeline) Insert(key, val uint64) *PointPromise {
+	return p.add(dict.BatchOp{Kind: dict.OpInsert, Key: key, Val: val})
+}
+
+// Delete enqueues an asynchronous delete; the promise resolves to the
+// removed value and whether the key was present.
+func (p *Pipeline) Delete(key uint64) *PointPromise {
+	return p.add(dict.BatchOp{Kind: dict.OpDelete, Key: key})
+}
+
+// Search enqueues an asynchronous search; the promise resolves to the
+// value found and whether the key was present at the operation's place
+// in the batch (a search enqueued after an insert of the same key sees
+// that insert).
+func (p *Pipeline) Search(key uint64) *PointPromise {
+	return p.add(dict.BatchOp{Kind: dict.OpSearch, Key: key})
+}
+
+// RangeQuery runs an asynchronous range query over [lo, hi). Unless
+// Config.RangeNoFlush is set it first flushes the buffered point
+// operations, so the result reflects the pipeline's own pending
+// writes. The query executes before RangeQuery returns; the promise is
+// already completed and exists for API symmetry (OnComplete chains).
+func (p *Pipeline) RangeQuery(lo, hi uint64) *RangePromise {
+	pr := newPromise[[]dict.KV](nil)
+	p.mu.Lock()
+	var ready []pending
+	if !p.cfg.RangeNoFlush {
+		ready = p.flushLocked(&p.ctr.rangeF)
+	}
+	out := p.h.RangeQuery(lo, hi, nil)
+	p.mu.Unlock()
+	finish(ready)
+	pr.complete(out)
+	return pr
+}
+
+// Flush executes every buffered operation now and completes its
+// promise. Flushing an empty pipeline is a no-op (no group executes,
+// no counter moves).
+func (p *Pipeline) Flush() {
+	p.mu.Lock()
+	ready := p.flushLocked(&p.ctr.explicitF)
+	p.mu.Unlock()
+	finish(ready)
+}
+
+// Pending returns the number of buffered, not yet executed operations.
+func (p *Pipeline) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pend)
+}
+
+// Close flushes the pipeline and stops its MaxDelay timer. The
+// pipeline remains usable; Close exists so an abandoned pipeline does
+// not leave operations parked behind a timer that already fired.
+func (p *Pipeline) Close() { p.Flush() }
+
+func (p *Pipeline) add(op dict.BatchOp) *PointPromise {
+	p.mu.Lock()
+	if len(p.slab) == 0 {
+		p.slab = make([]PointPromise, p.cfg.MaxOps)
+		for i := range p.slab {
+			p.slab[i].fl = p
+		}
+	}
+	pr := &p.slab[0]
+	p.slab = p.slab[1:]
+	p.pend = append(p.pend, pending{op: op, pr: pr})
+	if len(p.pend) >= p.cfg.MaxOps {
+		ready := p.flushLocked(&p.ctr.sizeF)
+		p.mu.Unlock()
+		finish(ready)
+		return pr
+	}
+	if p.cfg.MaxDelay > 0 && !p.timerArmed {
+		p.armTimerLocked()
+	}
+	p.mu.Unlock()
+	return pr
+}
+
+// armTimerLocked schedules the MaxDelay flush for the buffer that just
+// became non-empty.
+func (p *Pipeline) armTimerLocked() {
+	p.timerArmed = true
+	if p.timer == nil {
+		p.timer = time.AfterFunc(p.cfg.MaxDelay, p.timerFlush)
+		return
+	}
+	p.timer.Reset(p.cfg.MaxDelay)
+}
+
+// timerFlush runs on the timer goroutine when MaxDelay elapses.
+func (p *Pipeline) timerFlush() {
+	p.mu.Lock()
+	p.timerArmed = false
+	ready := p.flushLocked(&p.ctr.timerF)
+	p.mu.Unlock()
+	finish(ready)
+}
+
+// flushLocked sorts and executes the buffered group under the pipeline
+// lock and hands back the executed entries; the caller completes their
+// promises after unlocking (a completion callback may Wait on another
+// promise of this pipeline, which re-enters the lock). cause is the
+// per-trigger counter to credit; an empty buffer executes nothing and
+// credits nothing.
+func (p *Pipeline) flushLocked(cause *atomic.Uint64) []pending {
+	if p.timerArmed {
+		p.timer.Stop()
+		p.timerArmed = false
+	}
+	if len(p.pend) == 0 {
+		return nil
+	}
+	ready := p.pend
+	p.pend = make([]pending, 0, p.cfg.MaxOps)
+	// Stable by key: ops on the same key keep enqueue order, which is
+	// what makes the batch's per-op results well-defined.
+	slices.SortStableFunc(ready, func(a, b pending) int {
+		switch {
+		case a.op.Key < b.op.Key:
+			return -1
+		case a.op.Key > b.op.Key:
+			return 1
+		default:
+			return 0
+		}
+	})
+	ops := p.ops[:0]
+	for i := range ready {
+		ops = append(ops, ready[i].op)
+	}
+	if p.ge != nil {
+		p.ge.ExecGroup(ops)
+	} else {
+		for i := range ops {
+			ops[i].Exec(p.h)
+		}
+	}
+	for i := range ready {
+		ready[i].op = ops[i]
+	}
+	p.ops = ops[:0]
+	p.ctr.flushes.Add(1)
+	p.ctr.flushedOps.Add(uint64(len(ready)))
+	cause.Add(1)
+	return ready
+}
+
+// finish completes the promises of an executed group.
+func finish(ready []pending) {
+	for i := range ready {
+		ready[i].pr.complete(PointResult{Val: ready[i].op.Out, OK: ready[i].op.OutOK})
+	}
+}

@@ -38,3 +38,52 @@ type Dict interface {
 	// the paper's key-sum validation compares against.
 	KeySum() (sum, count uint64)
 }
+
+// OpKind names a batched point operation.
+type OpKind uint8
+
+// Batched point-operation kinds.
+const (
+	OpInsert OpKind = iota + 1
+	OpDelete
+	OpSearch
+)
+
+// BatchOp is one point operation inside a batched group: the request
+// fields (Kind, Key, Val) are filled by the batching layer, and the
+// executor writes the operation's result into Out/OutOK — the (old,
+// existed) pair for Insert and Delete, the (val, found) pair for
+// Search — exactly as the corresponding Handle method would have
+// returned it.
+type BatchOp struct {
+	Kind     OpKind
+	Key, Val uint64
+	Out      uint64
+	OutOK    bool
+}
+
+// Exec runs op against h and records the result, preserving each
+// method's return contract. It is the per-op building block group
+// executors and the batching layer's fallback path share.
+func (op *BatchOp) Exec(h Handle) {
+	switch op.Kind {
+	case OpInsert:
+		op.Out, op.OutOK = h.Insert(op.Key, op.Val)
+	case OpDelete:
+		op.Out, op.OutOK = h.Delete(op.Key)
+	case OpSearch:
+		op.Out, op.OutOK = h.Search(op.Key)
+	}
+}
+
+// GroupExecutor is optionally implemented by handles that can execute a
+// key-sorted group of point operations with amortized per-operation
+// overhead (the shard layer's handles: one routing-table acquisition
+// and one monitor bracket per shard-group instead of per op). Ops
+// sharing a key must keep their relative order — callers sort the
+// group stably by key — and results are written into the slice
+// elements. The batching layer falls back to executing ops one by one
+// through the plain Handle methods when a handle does not implement it.
+type GroupExecutor interface {
+	ExecGroup(ops []BatchOp)
+}

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"htmtree/internal/dict"
+)
+
+// BatchStats counts group-execution activity (dict.GroupExecutor calls
+// from the batching layer). The amortization the batch subsystem exists
+// for is visible directly: Ops/RouterLookups and Ops/MonitorEnters are
+// the factors by which batching cut the per-operation routing and
+// admission overhead — an unbatched stream pays one router lookup (and,
+// on a rebalancing dictionary, one monitor bracket) per op, a batched
+// stream pays one per shard-group.
+type BatchStats struct {
+	// Ops counts point operations executed through batched groups,
+	// Groups the per-shard groups they were executed as (Ops/Groups is
+	// the realized locality).
+	Ops, Groups uint64
+	// RouterLookups counts routing decisions taken while segmenting
+	// groups: one ShardFor+Bounds per group under ordered routing, one
+	// ShardFor per op under hash routing (which cannot bound a group's
+	// owner set).
+	RouterLookups uint64
+	// MonitorEnters counts shard-level admission brackets taken by
+	// group execution on a rebalancing dictionary — one per group,
+	// where unbatched dispatch pays one per op.
+	MonitorEnters uint64
+	// Restarts counts groups abandoned and re-routed because a
+	// migration swapped the routing table between routing and
+	// admission; their operations re-executed under the new table, so
+	// no batch ever commits through stale routing.
+	Restarts uint64
+}
+
+// BatchStats returns a snapshot of the group-execution counters. Safe
+// to call while operations run (the snapshot is then approximate).
+func (d *Dict) BatchStats() BatchStats {
+	return BatchStats{
+		Ops:           d.batchOps.Load(),
+		Groups:        d.batchGroups.Load(),
+		RouterLookups: d.batchRouterLookups.Load(),
+		MonitorEnters: d.batchMonEnters.Load(),
+		Restarts:      d.batchRestarts.Load(),
+	}
+}
+
+// ExecGroup implements dict.GroupExecutor: it executes a key-sorted
+// group of point operations with one routing-table acquisition per
+// pass, one routing decision per shard segment, and — on a rebalancing
+// dictionary — one monitor admission bracket per segment instead of
+// per operation. Results are written into ops exactly as the
+// per-operation methods would have returned them.
+//
+// The group composes with live migration the same way routeUpdate
+// does, lifted from ops to segments: a segment's shard monitor is
+// Entered (pinning the shard against migration) and the routing table
+// re-checked before any of its operations dispatch; if a migration
+// swapped the table in between, the admission is dropped and every
+// not-yet-executed operation is re-segmented against the new table.
+// The admission pins the shard for the whole segment, so a migration
+// waits for at most one batch segment — bounded by the batch size —
+// rather than one op.
+func (h *handle) ExecGroup(ops []dict.BatchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	d := h.d
+	d.batchOps.Add(uint64(len(ops)))
+
+	r := h.curRouter()
+	if !r.Ordered() {
+		h.execGroupUnordered(r, ops)
+	} else {
+		h.execGroupOrdered(ops)
+	}
+
+	// Batched operations count toward the rebalancer's evaluation
+	// cadence exactly like unbatched ones, so a purely batched workload
+	// still triggers migrations.
+	if rb := d.reb; rb != nil {
+		h.sinceCheck += len(ops)
+		if h.sinceCheck >= rb.cfg.CheckOps {
+			h.sinceCheck = 0
+			d.maybeRebalance()
+		}
+	}
+}
+
+// execGroupUnordered buckets ops by owner under a hash router — which
+// cannot bound a sorted run's owner set, so routing stays per-op — and
+// executes each bucket through one inner-handle dispatch run. Hash
+// routers never rebalance (Config.validate rejects the combination),
+// so no admission or re-routing is needed.
+func (h *handle) execGroupUnordered(r Router, ops []dict.BatchOp) {
+	d := h.d
+	n := len(d.shards)
+	if h.buckets == nil {
+		h.buckets = make([][]int, n)
+	}
+	for s := range h.buckets {
+		h.buckets[s] = h.buckets[s][:0]
+	}
+	for i := range ops {
+		s := r.ShardFor(ops[i].Key)
+		h.buckets[s] = append(h.buckets[s], i)
+	}
+	d.batchRouterLookups.Add(uint64(len(ops)))
+	for s, idx := range h.buckets {
+		if len(idx) == 0 {
+			continue
+		}
+		target := h.hs[s]
+		for _, i := range idx {
+			ops[i].Exec(target)
+		}
+		d.batchGroups.Add(1)
+	}
+}
+
+// execGroupOrdered segments the sorted ops into contiguous per-shard
+// runs under the (possibly live) range routing table and executes each
+// run with one admission bracket.
+func (h *handle) execGroupOrdered(ops []dict.BatchOp) {
+	d := h.d
+	// idx holds the not-yet-executed ops in key order; a stale-table
+	// restart re-segments exactly this suffix under the new table.
+	idx := h.gidx[:0]
+	for i := range ops {
+		idx = append(idx, i)
+	}
+	h.gidx = idx // keep the (possibly regrown) scratch for the next group
+	for len(idx) > 0 {
+		var rt *routing
+		var r Router
+		if h.admit {
+			rt = d.rt.Load()
+			r = rt.r
+		} else {
+			r = h.curRouter()
+		}
+		stale := false
+		i := 0
+		for i < len(idx) {
+			s := r.ShardFor(ops[idx[i]].Key)
+			_, hi := r.Bounds(s)
+			d.batchRouterLookups.Add(1)
+			j := i + 1
+			for j < len(idx) && ops[idx[j]].Key < hi {
+				j++
+			}
+			if h.admit {
+				mon := d.mons[s]
+				mon.Enter()
+				d.batchMonEnters.Add(1)
+				if d.rt.Load() != rt {
+					// A migration swapped the table between routing and
+					// admission: this segment (and everything after it)
+					// may be owned elsewhere now. Drop the admission and
+					// re-route the whole unexecuted suffix.
+					mon.Exit()
+					d.batchRestarts.Add(1)
+					stale = true
+					break
+				}
+				target := h.hs[s]
+				for _, k := range idx[i:j] {
+					ops[k].Exec(target)
+				}
+				mon.Exit()
+			} else {
+				target := h.hs[s]
+				for _, k := range idx[i:j] {
+					ops[k].Exec(target)
+				}
+			}
+			d.batchGroups.Add(1)
+			i = j
+		}
+		idx = idx[i:]
+		if !stale {
+			break
+		}
+	}
+}

@@ -217,6 +217,13 @@ type Dict struct {
 	rqRetried     atomic.Uint64
 	rqEscalations atomic.Uint64
 
+	// Group-execution counters (see BatchStats in batch.go).
+	batchOps           atomic.Uint64
+	batchGroups        atomic.Uint64
+	batchRouterLookups atomic.Uint64
+	batchMonEnters     atomic.Uint64
+	batchRestarts      atomic.Uint64
+
 	// checkHandles are reserved for CheckPartition: handle registration
 	// is permanent in the inner trees' engines, so a quiescent checker
 	// must reuse one handle per shard rather than register new ones on
@@ -343,6 +350,15 @@ func (d *Dict) NewHandle() dict.Handle {
 		} else {
 			d.reb.disabled.Store(true)
 		}
+	}
+	if d.reb == nil {
+		// The routing table is published once at construction and never
+		// swapped (only migrations store to d.rt), so every operation
+		// through this handle may use a plain cached pointer instead of
+		// a per-op atomic load. Handles on a rebalancing dictionary —
+		// even ones that latched rebalancing off — keep loading: a
+		// migration may already be in flight when the latch is observed.
+		h.router = d.Router()
 	}
 	return h
 }
@@ -522,12 +538,32 @@ type handle struct {
 	hs      []dict.Handle
 	samples []engine.MonitorSample // scratch for atomic fan-out validation
 
+	// router caches the routing table when the dictionary can never
+	// swap it (no rebalancer), so the static point-op paths pay no
+	// atomic load at all; nil on a rebalancing dictionary, whose paths
+	// must observe table swaps and load the published pointer per op.
+	router Router
+
 	// admit marks that this handle performs shard-level monitor
 	// admission for updates (rebalancing dictionaries; see NewHandle).
 	admit bool
 	// sinceCheck counts point operations since the last rebalance
 	// evaluation this handle triggered (unused unless rebalancing).
 	sinceCheck int
+
+	// gidx and buckets are group-execution scratch (see ExecGroup).
+	gidx    []int
+	buckets [][]int
+}
+
+// curRouter returns the routing table for a non-admitting operation:
+// the handle-cached table when the dictionary can never swap it, the
+// published pointer otherwise.
+func (h *handle) curRouter() Router {
+	if h.router != nil {
+		return h.router
+	}
+	return h.d.Router()
 }
 
 // routeUpdate returns the shard handle owning key for an update. On a
@@ -539,7 +575,7 @@ type handle struct {
 func (h *handle) routeUpdate(key uint64) (target dict.Handle, release func()) {
 	d := h.d
 	if !h.admit {
-		return h.hs[d.ShardFor(key)], nil
+		return h.hs[h.curRouter().ShardFor(key)], nil
 	}
 	for {
 		rt := d.rt.Load()
@@ -599,7 +635,7 @@ func (h *handle) Delete(key uint64) (old uint64, existed bool) {
 func (h *handle) Search(key uint64) (val uint64, found bool) {
 	d := h.d
 	if !h.admit {
-		return h.hs[d.ShardFor(key)].Search(key)
+		return h.hs[h.curRouter().ShardFor(key)].Search(key)
 	}
 	for {
 		rt := d.rt.Load()
@@ -643,12 +679,12 @@ func (h *handle) RangeQuery(lo, hi uint64, out []dict.KV) []dict.KV {
 	}
 	d := h.d
 	if d.mons == nil {
-		r := d.Router()
+		r := h.curRouter()
 		first, last := overlap(r, lo, hi)
 		return h.readShards(r, first, last, lo, hi, out)
 	}
 	if d.reb == nil {
-		r := d.Router()
+		r := h.curRouter()
 		if first, last := overlap(r, lo, hi); first == last {
 			return h.readShards(r, first, last, lo, hi, out)
 		}

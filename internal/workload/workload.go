@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"htmtree/internal/batch"
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
@@ -86,6 +87,13 @@ type Config struct {
 	// bounds (a range-routed shard.Dict); otherwise threads fall back to
 	// the full key range.
 	PinUpdaters bool
+	// BatchOps switches update threads to the asynchronous batched
+	// path: each thread enqueues its inserts/deletes into a batch
+	// pipeline flushed every BatchOps operations, settling the futures
+	// (and the key-sum accounting) after each flush. 0 or 1 keeps the
+	// paper's per-operation dispatch. Range-query threads are never
+	// batched.
+	BatchOps int
 }
 
 // ShardInfo is implemented by sharded dictionaries that expose their
@@ -116,6 +124,10 @@ type Result struct {
 	// Rebalance reports live shard-rebalancing activity (zero unless
 	// the dictionary is a shard.Dict with rebalancing enabled).
 	Rebalance shard.RebalanceStats
+	// Batch reports group-execution activity (zero unless the
+	// dictionary is a shard.Dict and Config.BatchOps batched the
+	// updaters).
+	Batch shard.BatchStats
 	// MaxShardShare is the fraction of the trial's per-shard engine
 	// operations served by the busiest shard (prefill excluded): 1/N is
 	// perfectly balanced, 1.0 is total collapse onto one shard. Zero
@@ -136,6 +148,59 @@ func shardOpTotals(sd *shard.Dict) []uint64 {
 		}
 	}
 	return tot
+}
+
+// delta accumulates one worker thread's contribution to a trial.
+type delta struct {
+	ops, updates, rqs uint64
+	sum               int64
+	count             int64
+}
+
+// runBatchedUpdater is an update thread's loop when Config.BatchOps
+// batches operations: inserts and deletes enqueue into a pipeline over
+// the thread's handle and settle — futures waited, key-sum deltas
+// booked — every BatchOps operations. The pipeline flushes by size
+// (the explicit Flush only drains the final partial batch), so the
+// measured path is sorted group execution through dict.GroupExecutor
+// when the dictionary supports it.
+func runBatchedUpdater(h dict.Handle, cfg Config, rng *xrand.State, gen func(*xrand.State) uint64, st *delta, stop *atomic.Bool) {
+	pl := batch.New(h, batch.Config{MaxOps: cfg.BatchOps})
+	type rec struct {
+		k   uint64
+		ins bool
+		pr  *batch.PointPromise
+	}
+	recs := make([]rec, 0, cfg.BatchOps)
+	settle := func() {
+		pl.Flush()
+		for _, rc := range recs {
+			res := rc.pr.Wait()
+			if rc.ins && !res.OK {
+				st.sum += int64(rc.k)
+				st.count++
+			}
+			if !rc.ins && res.OK {
+				st.sum -= int64(rc.k)
+				st.count--
+			}
+		}
+		recs = recs[:0]
+	}
+	for !stop.Load() {
+		k := gen(rng)
+		if rng.Next()&1 == 0 {
+			recs = append(recs, rec{k, true, pl.Insert(k, k)})
+		} else {
+			recs = append(recs, rec{k, false, pl.Delete(k)})
+		}
+		st.updates++
+		st.ops++
+		if len(recs) >= cfg.BatchOps {
+			settle()
+		}
+	}
+	settle()
 }
 
 // Prefill inserts each key of [1, KeyRange] independently with
@@ -236,11 +301,6 @@ func Run(d dict.Dict, cfg Config) Result {
 	}
 
 	var stop atomic.Bool
-	type delta struct {
-		ops, updates, rqs uint64
-		sum               int64
-		count             int64
-	}
 	deltas := make([]delta, cfg.Threads)
 	var wg sync.WaitGroup
 	var ready sync.WaitGroup
@@ -260,6 +320,10 @@ func Run(d dict.Dict, cfg Config) Result {
 			ready.Done()
 			<-start
 			st := &deltas[i]
+			if !isRQ && cfg.BatchOps > 1 {
+				runBatchedUpdater(h, cfg, rng, gen, st, &stop)
+				return
+			}
 			for !stop.Load() {
 				if isRQ {
 					lo := rng.Uint64n(cfg.KeyRange) + 1
@@ -312,6 +376,7 @@ func Run(d dict.Dict, cfg Config) Result {
 	}
 	if sd, ok := d.(*shard.Dict); ok {
 		res.Rebalance = sd.RebalanceStats()
+		res.Batch = sd.BatchStats()
 		tot := shardOpTotals(sd)
 		var sum, max uint64
 		for i := range tot {

@@ -117,3 +117,36 @@ func TestRunAllAlgorithmsShort(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchedUpdatersValidate runs a short batched-updater trial on a
+// sharded dictionary: the key-sum checksum must still balance (futures
+// report exact per-op results even though execution is reordered and
+// grouped), and the group-execution counters must show the batched
+// path was actually taken.
+func TestBatchedUpdatersValidate(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Structure: "abtree", Algorithm: engine.AlgThreePath, Shards: 8, KeySpan: 4096}
+	res := Run(spec.New(), Config{
+		Threads:  4,
+		Duration: 50 * time.Millisecond,
+		KeyRange: 4096,
+		Kind:     Light,
+		Seed:     42,
+		BatchOps: 32,
+	})
+	if !res.KeySumOK {
+		t.Fatalf("batched trial failed key-sum validation: %+v", res)
+	}
+	if res.Batch.Ops == 0 || res.Batch.Groups == 0 {
+		t.Fatalf("batched trial never exercised group execution: %+v", res.Batch)
+	}
+	if res.UpdateOps == 0 {
+		t.Fatal("no updates completed")
+	}
+	// Sorted 32-op batches over 8 shards must amortize routing below
+	// one lookup per op.
+	if res.Batch.RouterLookups >= res.Batch.Ops {
+		t.Fatalf("no routing amortization: %d lookups for %d ops",
+			res.Batch.RouterLookups, res.Batch.Ops)
+	}
+}
