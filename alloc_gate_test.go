@@ -1,0 +1,87 @@
+package htmtree_test
+
+import (
+	"testing"
+
+	"htmtree"
+)
+
+// Allocation-regression gate (PR 5 acceptance): steady-state point
+// operations on the pooled BST and (a,b)-tree must not allocate. Inserts
+// draw nodes from the per-thread pools that deletions refill through
+// epoch-based reclamation, value updates mutate leaves in place, and the
+// engine/htm plumbing (transaction logs, op closures, monitor wrappers)
+// is allocated once per handle — so after warmup, AllocsPerRun must
+// observe zero.
+//
+// CI runs this test explicitly in the bench-smoke job; a regression here
+// means something on the hot path started allocating again.
+
+// warmups populate the tree, the handle's pools, and every
+// amortized-growth buffer (transaction logs, scratch slices) before
+// measurement.
+const (
+	gateKeys    = 512
+	gateWarmups = 200
+)
+
+func gateCheck(t *testing.T, name string, avg float64) {
+	t.Helper()
+	if avg != 0 {
+		t.Errorf("%s: %.2f allocs/op in steady state, want 0", name, avg)
+	}
+}
+
+func TestAllocGateBSTPointOps(t *testing.T) {
+	tree, err := htmtree.NewBST(htmtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tree.NewHandle()
+	for k := uint64(1); k <= gateKeys; k++ {
+		h.Insert(k, k)
+	}
+	k := uint64(gateKeys / 2)
+	for i := 0; i < gateWarmups; i++ {
+		h.Delete(k)
+		h.Insert(k, k)
+	}
+
+	gateCheck(t, "bst delete+insert", testing.AllocsPerRun(200, func() {
+		h.Delete(k)
+		h.Insert(k, k)
+	}))
+	gateCheck(t, "bst value update", testing.AllocsPerRun(200, func() {
+		h.Insert(k, 7)
+	}))
+	gateCheck(t, "bst search", testing.AllocsPerRun(200, func() {
+		h.Search(k)
+	}))
+}
+
+func TestAllocGateABTreePointOps(t *testing.T) {
+	tree, err := htmtree.NewABTree(htmtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tree.NewHandle()
+	for k := uint64(1); k <= gateKeys; k++ {
+		h.Insert(k, k)
+	}
+	k := uint64(gateKeys / 2)
+	for i := 0; i < gateWarmups; i++ {
+		h.Delete(k)
+		h.Insert(k, k)
+	}
+
+	gateCheck(t, "abtree delete+insert", testing.AllocsPerRun(200, func() {
+		h.Delete(k)
+		h.Insert(k, k)
+	}))
+	gateCheck(t, "abtree value update", testing.AllocsPerRun(200, func() {
+		h.Insert(k, 7)
+	}))
+	gateCheck(t, "abtree search", testing.AllocsPerRun(200, func() {
+		h.Search(k)
+	}))
+}

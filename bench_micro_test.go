@@ -1,0 +1,47 @@
+// Focused hot-path microbenchmarks: one delete+insert+search cycle per
+// iteration on a warmed tree, single-threaded — the pooled
+// point-operation path the allocation gate protects. Complements the
+// workload-trial benchmarks in bench_test.go (which measure throughput
+// under the paper's mixed workloads) with a number that isolates
+// per-operation latency and allocations.
+package htmtree_test
+
+import (
+	"testing"
+
+	"htmtree/internal/abtree"
+	"htmtree/internal/bst"
+	"htmtree/internal/engine"
+)
+
+func BenchmarkMicroABTreeCycle(b *testing.B) {
+	tr := abtree.New(abtree.Config{Algorithm: engine.AlgThreePath})
+	h := tr.NewHandle()
+	for k := uint64(1); k <= 512; k++ {
+		h.Insert(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%512) + 1
+		h.Delete(k)
+		h.Insert(k, k)
+		h.Search(k)
+	}
+}
+
+func BenchmarkMicroBSTCycle(b *testing.B) {
+	tr := bst.New(bst.Config{Algorithm: engine.AlgThreePath})
+	h := tr.NewHandle()
+	for k := uint64(1); k <= 512; k++ {
+		h.Insert(k, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%512) + 1
+		h.Delete(k)
+		h.Insert(k, k)
+		h.Search(k)
+	}
+}

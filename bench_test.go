@@ -41,6 +41,7 @@ var figureAlgs = []engine.Algorithm{
 // throughput.
 func runTrialBench(b *testing.B, mk func() dict.Dict, cfg workload.Config) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg.Threads = benchThreads
 	cfg.Duration = benchDuration
 	var tput float64
@@ -107,6 +108,7 @@ func BenchmarkFig16AbortRates(b *testing.B) {
 	for _, alg := range []engine.Algorithm{engine.AlgTLE, engine.AlgTwoPathConc, engine.AlgThreePath} {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var commits, aborts uint64
 			for i := 0; i < b.N; i++ {
 				tr := abtree.New(abtree.Config{Algorithm: alg})
@@ -134,6 +136,7 @@ func BenchmarkSec72PathUsage(b *testing.B) {
 	for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var fast, total uint64
 			for i := 0; i < b.N; i++ {
 				tr := abtree.New(abtree.Config{Algorithm: engine.AlgThreePath})
@@ -197,6 +200,7 @@ func BenchmarkSec9AllocationPerOp(b *testing.B) {
 	for _, alg := range []engine.Algorithm{engine.AlgNonHTM, engine.AlgThreePath} {
 		alg := alg
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			tr := abtree.New(abtree.Config{Algorithm: alg})
 			h := tr.NewHandle()
 			for k := uint64(1); k <= 4096; k++ {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"htmtree/internal/engine"
+	"htmtree/internal/workload"
+)
+
+// jsonRow is one machine-readable benchmark result. This is the schema
+// of the committed BENCH_*.json baselines: the bench trajectory of the
+// repository is the sequence of these files, produced by
+// `htmbench -format json` on a fixed host.
+type jsonRow struct {
+	// Name identifies the experiment: structure/workload/xShards.
+	Name string `json:"name"`
+	// Throughput is completed operations per second over all threads.
+	Throughput float64 `json:"throughput"`
+	// NsOp is thread-nanoseconds per completed operation
+	// (threads * 1e9 / throughput): the average cost of one operation on
+	// one worker, comparable across thread counts.
+	NsOp float64 `json:"ns_op"`
+	// AllocsOp is the steady-state heap allocations per point operation,
+	// measured single-threaded on a warmed tree (delete+insert+search
+	// cycle, the pooled hot path). Zero means the allocation-free hot
+	// path is intact.
+	AllocsOp float64 `json:"allocs_op"`
+	// Paths counts operation completions per execution path during the
+	// throughput trial.
+	Paths map[string]uint64 `json:"paths"`
+}
+
+// jsonExperiments runs the machine-readable benchmark suite: for each
+// structure, the light and heavy workloads on the unsharded tree and on
+// a multi-shard tree (8 shards, or -shards when given larger). The
+// multi-shard light rows are the write-throughput numbers the PR-5
+// acceptance tracks.
+func jsonExperiments(o options) error {
+	shards := o.shards
+	if shards < 2 {
+		shards = 8
+	}
+	n := o.threads[len(o.threads)-1]
+	var rows []jsonRow
+	for _, ds := range specs(o) {
+		for _, sh := range []int{1, shards} {
+			for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
+				if kind == workload.Heavy && n < 2 {
+					continue // heavy needs >= 1 updater + 1 RQ thread
+				}
+				spec := workload.Spec{
+					Structure: ds.structure,
+					Algorithm: engine.AlgThreePath,
+					Shards:    sh,
+					KeySpan:   ds.keyRange,
+					Router:    o.router,
+				}
+				med, res := trial(o, spec.New, workload.Config{
+					Threads:   n,
+					Duration:  o.duration,
+					KeyRange:  ds.keyRange,
+					RQSizeMax: ds.rqMax,
+					Kind:      kind,
+				})
+				row := jsonRow{
+					Name:       fmt.Sprintf("%s/%s/x%d", ds.structure, kind, sh),
+					Throughput: med,
+					AllocsOp:   steadyStateAllocs(spec),
+					Paths: map[string]uint64{
+						"fast":     res.PathStats.Fast,
+						"middle":   res.PathStats.Middle,
+						"fallback": res.PathStats.Fallback,
+					},
+				}
+				if med > 0 {
+					row.NsOp = float64(n) * 1e9 / med
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// steadyStateAllocs measures heap allocations per point operation on a
+// warmed single-handle tree: the same discipline as the repository's
+// allocation-gate test, reported here so the JSON baseline records it
+// per configuration.
+func steadyStateAllocs(spec workload.Spec) float64 {
+	d := spec.New()
+	h := d.NewHandle()
+	const keys = 512
+	for k := uint64(1); k <= keys; k++ {
+		h.Insert(k, k)
+	}
+	cycle := func(k uint64) {
+		h.Delete(k)
+		h.Insert(k, k)
+		h.Search(k)
+	}
+	for i := 0; i < 400; i++ {
+		cycle(uint64(i%keys) + 1)
+	}
+	const runs = 400
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		cycle(uint64(i%keys) + 1)
+	}
+	runtime.ReadMemStats(&after)
+	perCycle := float64(after.Mallocs-before.Mallocs) / runs
+	return perCycle / 3 // three point ops per cycle
+}

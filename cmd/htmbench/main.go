@@ -28,6 +28,11 @@
 //	                      paper: the async batching subsystem)
 //	-experiment all       everything above
 //
+// -format json replaces the CSV tables with the machine-readable
+// baseline suite: one JSON row per structure x workload x shard-count
+// with throughput, thread-ns/op, steady-state allocs/op and per-path
+// operation counts — the schema of the committed BENCH_*.json files.
+//
 // -experiment also accepts a comma-separated list (e.g.
 // "skew,rqconsistency"). The -shards flag partitions every tree in the
 // figure experiments across N shards (default 1, the paper's unsharded
@@ -75,6 +80,7 @@ type options struct {
 	router     string
 	zipf       float64
 	batch      int
+	format     string
 }
 
 func main() {
@@ -101,6 +107,8 @@ func run() error {
 	flag.StringVar(&o.router, "router", "range", "shard routing policy: range|hash|adaptive")
 	flag.Float64Var(&o.zipf, "zipf", 0, "Zipfian update-key theta in (0,1); 0 = uniform keys")
 	flag.IntVar(&o.batch, "batch", 1, "batch update threads' operations N at a time through the async pipeline (1 = unbatched)")
+	flag.StringVar(&o.format, "format", "csv",
+		"output format: csv runs the selected -experiment tables; json runs the machine-readable baseline suite (structure x light/heavy x 1/N shards with throughput, ns/op, steady-state allocs/op and per-path counts) used for the committed BENCH_*.json trajectory")
 	flag.Parse()
 
 	if o.shards < 1 {
@@ -117,6 +125,11 @@ func run() error {
 	if o.batch < 1 {
 		return fmt.Errorf("bad -batch %d (want >= 1)", o.batch)
 	}
+	switch o.format {
+	case "csv", "json":
+	default:
+		return fmt.Errorf("bad -format %q (want csv or json)", o.format)
+	}
 
 	for _, part := range strings.Split(threadsFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -124,6 +137,10 @@ func run() error {
 			return fmt.Errorf("bad -threads element %q", part)
 		}
 		o.threads = append(o.threads, n)
+	}
+
+	if o.format == "json" {
+		return jsonExperiments(o)
 	}
 
 	var exps []string

@@ -32,11 +32,14 @@ package abtree
 
 import (
 	"fmt"
+	"sync"
 
 	"htmtree/internal/dict"
+	"htmtree/internal/ebr"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
+	"htmtree/internal/nodepool"
 )
 
 // Default degree bounds (paper Section 7: a=6, b=16 so a node spans four
@@ -80,12 +83,20 @@ type kv struct {
 	k, v uint64
 }
 
-// newLeaf builds a leaf with capacity b holding pairs (sorted).
-func newLeaf(b int, pairs []kv) *Node {
+// newLeaf builds a bootstrap leaf with capacity b holding pairs
+// (sorted), bound to clk. Steady-state operations allocate through the
+// handle pools instead (Handle.newLeaf in pool.go).
+func newLeaf(clk *htm.Clock, b int, pairs []kv) *Node {
 	n := &Node{
 		leaf:  true,
 		lkeys: make([]htm.Word, b),
 		lvals: make([]htm.Word, b),
+	}
+	n.hdr.Bind(clk)
+	n.size.Bind(clk)
+	for i := 0; i < b; i++ {
+		n.lkeys[i].Bind(clk)
+		n.lvals[i].Bind(clk)
 	}
 	n.size.Init(uint64(len(pairs)))
 	for i, p := range pairs {
@@ -95,15 +106,17 @@ func newLeaf(b int, pairs []kv) *Node {
 	return n
 }
 
-// newInternal builds an internal node. len(children) must equal
-// len(keys)+1.
-func newInternal(keys []uint64, children []*Node, tagged bool) *Node {
+// newInternal builds a bootstrap internal node bound to clk.
+// len(children) must equal len(keys)+1.
+func newInternal(clk *htm.Clock, keys []uint64, children []*Node, tagged bool) *Node {
 	n := &Node{
 		keys:     append([]uint64(nil), keys...),
 		children: make([]htm.Ref[Node], len(children)),
 		tagged:   tagged,
 	}
+	n.hdr.Bind(clk)
 	for i, c := range children {
+		n.children[i].Bind(clk)
 		n.children[i].Init(c)
 	}
 	return n
@@ -148,6 +161,14 @@ type Tree struct {
 	cfg Config
 	// entry is the permanent entry point; entry.children[0] is the root.
 	entry *Node
+
+	// sumMu serializes KeySum's shared reclamation context sumRd, which
+	// keeps the walk inside the epoch domain so pooled nodes — whose
+	// reuse rewrites internal nodes' plain key/child arrays — cannot be
+	// recycled under it (the sharding layer runs KeySum concurrently
+	// with updates when validating consistent cuts).
+	sumMu sync.Mutex
+	sumRd *ebr.Thread
 }
 
 // New creates an empty tree.
@@ -167,12 +188,15 @@ func New(cfg Config) *Tree {
 	}
 	ecfg := cfg.Engine
 	ecfg.Algorithm = cfg.Algorithm
+	tm := htm.New(cfg.HTM)
 	t := &Tree{
-		tm:  htm.New(cfg.HTM),
-		eng: engine.New(ecfg),
+		tm:  tm,
+		eng: engine.New(ecfg, tm.Clock()),
 		cfg: cfg,
 	}
-	t.entry = newInternal(nil, []*Node{newLeaf(cfg.B, nil)}, false)
+	t.entry = newInternal(tm.Clock(), nil,
+		[]*Node{newLeaf(tm.Clock(), cfg.B, nil)}, false)
+	t.sumRd = t.eng.ReclaimReader()
 	return t
 }
 
@@ -190,10 +214,14 @@ func (t *Tree) OpStats() engine.OpStats { return t.eng.Stats() }
 // (workload.StatsProvider).
 func (t *Tree) HTMStats() htm.Stats { return t.tm.Stats() }
 
-// Handle is a per-thread handle to the tree.
+// Handle is a per-thread handle to the tree. It owns the thread's node
+// pools (pool.go): steady-state operations draw leaves and internal
+// nodes (with their key/child arrays) from the pools and removals feed
+// them back through epoch-based reclamation.
 type Handle struct {
-	t *Tree
-	e *engine.Thread
+	t   *Tree
+	e   *engine.Thread
+	clk *htm.Clock
 
 	argKey, argVal uint64
 	argLo, argHi   uint64
@@ -205,6 +233,14 @@ type Handle struct {
 
 	// merge scratch: capacity b+1 so a full leaf plus one pair fits.
 	buf []kv
+	// split scratch for the fast path's routing-key/child argument
+	// slices, so splits do not allocate slice headers per operation.
+	kbuf []uint64
+	cbuf []*Node
+
+	// pool holds the thread's node free lists and attempt state
+	// (internal/nodepool; wired to the tree's node kinds in pool.go).
+	pool *nodepool.Pool[Node]
 
 	insertOp, deleteOp, searchOp, rqOp, fixOp engine.Op
 }
@@ -216,10 +252,15 @@ func (t *Tree) NewHandle() dict.Handle { return t.newHandle() }
 
 func (t *Tree) newHandle() *Handle {
 	h := &Handle{
-		t:   t,
-		e:   t.eng.NewThread(t.tm.NewThread()),
-		buf: make([]kv, 0, t.cfg.B+1),
+		t:    t,
+		e:    t.eng.NewThread(t.tm.NewThread()),
+		clk:  t.tm.Clock(),
+		buf:  make([]kv, 0, t.cfg.B+1),
+		kbuf: make([]uint64, 0, 1),
+		cbuf: make([]*Node, 0, 2),
 	}
+	h.pool = nodepool.New[Node](func(n *Node) bool { return n.leaf }, h.freshNode, h.e)
+	h.e.EnableReclaim(h.pool.Release, t.cfg.SearchOutsideTx)
 	h.buildOps()
 	return h
 }
@@ -229,8 +270,19 @@ func (t *Tree) newHandle() *Handle {
 // key migration, which operates on the tree while holding the gate.
 func (h *Handle) SetGateBypass(bypass bool) { h.e.SetGateBypass(bypass) }
 
-// KeySum returns the sum and count of keys. Quiescent use only.
+// KeySum returns the sum and count of keys. The walk joins the tree's
+// reclamation domain (Begin/End on a dedicated reader context), so
+// concurrent updaters cannot recycle nodes under it — in particular,
+// internal nodes' plain key/child arrays cannot be rewritten while the
+// walk reads them. The sharding layer's consistent cuts rely on this:
+// they call KeySum while updates run and discard racing results via
+// monitor validation, which requires the racing walk itself to be
+// memory-safe on pooled nodes.
 func (t *Tree) KeySum() (sum, count uint64) {
+	t.sumMu.Lock()
+	defer t.sumMu.Unlock()
+	t.sumRd.Begin()
+	defer t.sumRd.End()
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n.leaf {

@@ -69,7 +69,7 @@ func (h *Handle) Insert(key, val uint64) (uint64, bool) {
 	checkKey(key)
 	h.argKey, h.argVal = key, val
 	h.needFix = false
-	h.e.Run(h.insertOp)
+	h.settle(h.e.Run(h.insertOp))
 	if h.needFix {
 		h.runFixLoop()
 	}
@@ -81,7 +81,7 @@ func (h *Handle) Delete(key uint64) (uint64, bool) {
 	checkKey(key)
 	h.argKey = key
 	h.needFix = false
-	h.e.Run(h.deleteOp)
+	h.settle(h.e.Run(h.deleteOp))
 	if h.needFix {
 		h.runFixLoop()
 	}
@@ -175,6 +175,7 @@ func (t *Tree) locateForUpdate(pr *prims, key uint64) (p, u *Node, uIdx int) {
 // request a retry (fallback modes); transactional modes abort instead.
 func (t *Tree) insertBody(pr *prims) bool {
 	h := pr.h
+	h.beginAttempt()
 	key, val := h.argKey, h.argVal
 	b := t.cfg.B
 	p, u, uIdx := t.locateForUpdate(pr, key)
@@ -208,13 +209,15 @@ func (t *Tree) insertBody(pr *prims) bool {
 		readLeaf(tx, u, &h.buf)
 		h.buf = insertAt(h.buf, pos, kv{k: key, v: val})
 		lo := (len(h.buf) + 1) / 2
-		right := newLeaf(b, h.buf[lo:])
+		right := h.newLeaf(h.buf[lo:])
 		for i := 0; i < lo; i++ {
 			u.lkeys[i].Set(tx, h.buf[i].k)
 			u.lvals[i].Set(tx, h.buf[i].v)
 		}
 		u.size.Set(tx, uint64(lo))
-		np := newInternal([]uint64{h.buf[lo].k}, []*Node{u, right}, p != t.entry)
+		h.kbuf = append(h.kbuf[:0], h.buf[lo].k)
+		h.cbuf = append(h.cbuf[:0], u, right)
+		np := h.newInternal(h.kbuf, h.cbuf, p != t.entry)
 		p.children[uIdx].Set(tx, np)
 		h.needFix = np.tagged
 		return true
@@ -245,29 +248,44 @@ func (t *Tree) insertBody(pr *prims) bool {
 		h.resVal, h.resFound = h.buf[pos].v, true
 		h.needFix = false
 		h.buf[pos].v = val
-		return pr.scx(v, infos, r, fld, u, newLeaf(b, h.buf))
+		if !pr.scx(v, infos, r, fld, u, h.newLeaf(h.buf)) {
+			return false
+		}
+		h.remove(u)
+		return true
 	}
 	h.resVal, h.resFound = 0, false
 	h.buf = insertAt(h.buf, pos, kv{k: key, v: val})
 	if len(h.buf) <= b {
 		h.needFix = false
-		return pr.scx(v, infos, r, fld, u, newLeaf(b, h.buf))
+		if !pr.scx(v, infos, r, fld, u, h.newLeaf(h.buf)) {
+			return false
+		}
+		h.remove(u)
+		return true
 	}
 	// Full leaf: replace u with a tagged parent over two half leaves —
 	// three new nodes on the template paths (Section 6.2).
 	lo := (len(h.buf) + 1) / 2
-	left := newLeaf(b, h.buf[:lo])
-	right := newLeaf(b, h.buf[lo:])
-	np := newInternal([]uint64{h.buf[lo].k}, []*Node{left, right}, p != t.entry)
+	left := h.newLeaf(h.buf[:lo])
+	right := h.newLeaf(h.buf[lo:])
+	h.kbuf = append(h.kbuf[:0], h.buf[lo].k)
+	h.cbuf = append(h.cbuf[:0], left, right)
+	np := h.newInternal(h.kbuf, h.cbuf, p != t.entry)
 	h.needFix = np.tagged
-	return pr.scx(v, infos, r, fld, u, np)
+	if !pr.scx(v, infos, r, fld, u, np) {
+		return false
+	}
+	h.remove(u)
+	return true
 }
 
 // deleteBody implements Delete on every path.
 func (t *Tree) deleteBody(pr *prims) bool {
 	h := pr.h
+	h.beginAttempt()
 	key := h.argKey
-	a, b := t.cfg.A, t.cfg.B
+	a := t.cfg.A
 	p, u, uIdx := t.locateForUpdate(pr, key)
 
 	if pr.m == modeFast {
@@ -311,9 +329,13 @@ func (t *Tree) deleteBody(pr *prims) bool {
 	h.resVal, h.resFound = h.buf[pos].v, true
 	h.buf = append(h.buf[:pos], h.buf[pos+1:]...)
 	h.needFix = p != t.entry && len(h.buf) < a
-	return pr.scx(
+	if !pr.scx(
 		[]*llxscx.Hdr{&p.hdr, &u.hdr}, []*llxscx.Info{pi, ui},
-		[]*llxscx.Hdr{&u.hdr}, &p.children[uIdx], u, newLeaf(b, h.buf))
+		[]*llxscx.Hdr{&u.hdr}, &p.children[uIdx], u, h.newLeaf(h.buf)) {
+		return false
+	}
+	h.remove(u)
+	return true
 }
 
 // searchBody implements Search (read-only on every path).

@@ -1,0 +1,100 @@
+package abtree
+
+import (
+	"testing"
+
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+)
+
+// TestLeafPoolRecyclesOnFastPath drives fast-path joins (deleting down
+// to underfull leaves with tiny degree bounds) and checks that removed
+// leaves recycle immediately and are reused.
+func TestLeafPoolRecyclesOnFastPath(t *testing.T) {
+	t.Parallel()
+	tr := New(Config{A: 2, B: 4, Algorithm: engine.AlgThreePath})
+	h := tr.newHandle()
+	for round := 0; round < 20; round++ {
+		for k := uint64(1); k <= 64; k++ {
+			h.Insert(k, k)
+		}
+		for k := uint64(1); k <= 64; k++ {
+			h.Delete(k)
+		}
+	}
+	st := h.ReclaimStats()
+	if st.RetiredFast == 0 {
+		t.Fatalf("fast-path rebalancing never recycled a leaf immediately: %+v", st)
+	}
+	if st.Reused == 0 {
+		t.Fatalf("pool never reused a node: %+v", st)
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInternalNodesNeverFastRecycle asserts the white-box rule that
+// internal nodes — whose routing-key array and child-array length are
+// plain memory rewritten on reuse — always take the grace period, even
+// when removed by a fast-path commit.
+func TestInternalNodesNeverFastRecycle(t *testing.T) {
+	t.Parallel()
+	tr := New(Config{Algorithm: engine.AlgThreePath})
+	h := tr.newHandle()
+	h.Insert(1, 1) // establish the handle's reclamation context
+
+	before := h.ReclaimStats()
+	n := &Node{leaf: false}
+	h.remove(n)
+	h.settle(htm.PathFast)
+	st := h.ReclaimStats()
+	if st.RetiredFast != before.RetiredFast {
+		t.Fatalf("internal node recycled immediately on the fast path: %+v", st)
+	}
+	if st.RetiredGrace != before.RetiredGrace+1 {
+		t.Fatalf("internal node not grace-retired: %+v", st)
+	}
+
+	// A leaf in the same position recycles immediately.
+	l := &Node{leaf: true}
+	l.hdr.Bind(tr.tm.Clock())
+	h.remove(l)
+	h.settle(htm.PathFast)
+	if got := h.ReclaimStats(); got.RetiredFast != st.RetiredFast+1 {
+		t.Fatalf("leaf not recycled immediately on the fast path: %+v", got)
+	}
+}
+
+// TestInternalArrayReuse verifies pooled internal nodes hand their
+// key/child arrays back out: after churn that creates and destroys
+// internal nodes, reuse draws from the pool without growing past the
+// capacity-b arrays.
+func TestInternalArrayReuse(t *testing.T) {
+	t.Parallel()
+	tr := New(Config{A: 2, B: 4, Algorithm: engine.AlgThreePath})
+	h := tr.newHandle()
+	for k := uint64(1); k <= 256; k++ {
+		h.Insert(k, k)
+	}
+	warm := h.ReclaimStats()
+	for round := 0; round < 10; round++ {
+		for k := uint64(1); k <= 256; k += 2 {
+			h.Delete(k)
+		}
+		for k := uint64(1); k <= 256; k += 2 {
+			h.Insert(k, k)
+		}
+	}
+	st := h.ReclaimStats()
+	if st.Reused == warm.Reused {
+		t.Fatal("rebalancing churn never reused pooled nodes")
+	}
+	growth := float64(st.Fresh-warm.Fresh) / float64(st.Reused-warm.Reused)
+	if growth > 0.5 {
+		t.Fatalf("pool mostly missing: %d fresh vs %d reused after warmup", st.Fresh-warm.Fresh, st.Reused-warm.Reused)
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}

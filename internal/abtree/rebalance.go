@@ -73,7 +73,7 @@ func (t *Tree) findViolation(tx *htm.Tx, key uint64) violation {
 func (h *Handle) runFixLoop() {
 	for i := 0; i < maxFixIterations; i++ {
 		h.fixMore = false
-		h.e.Run(h.fixOp)
+		h.settle(h.e.Run(h.fixOp))
 		if !h.fixMore {
 			return
 		}
@@ -86,6 +86,7 @@ func (h *Handle) runFixLoop() {
 // it). Returns false to request a retry in fallback modes.
 func (t *Tree) fixBody(pr *prims) bool {
 	h := pr.h
+	h.beginAttempt()
 	vio := t.findViolation(pr.tx, h.argKey)
 	if vio.kind == vNone {
 		h.fixMore = false
@@ -126,13 +127,13 @@ func (pr *prims) copyNode(n *Node, tagged bool) (*Node, *llxscx.Info, bool) {
 		if pr.failed {
 			return nil, nil, false
 		}
-		return newLeaf(pr.t.cfg.B, pr.h.buf), info, true
+		return pr.h.newLeaf(pr.h.buf), info, true
 	}
 	snap, info, ok := pr.snapshotChildren(n)
 	if !ok {
 		return nil, nil, false
 	}
-	return newInternal(n.keys, snap, tagged), info, true
+	return pr.h.newInternal(n.keys, snap, tagged), info, true
 }
 
 // fixUntagRoot replaces a tagged root with an untagged copy: the height
@@ -152,9 +153,13 @@ func (t *Tree) fixUntagRoot(pr *prims, vio violation) bool {
 	if !ok {
 		return false
 	}
-	return pr.scx(
+	if !pr.scx(
 		[]*llxscx.Hdr{&t.entry.hdr, &n.hdr}, []*llxscx.Info{ei, ni},
-		[]*llxscx.Hdr{&n.hdr}, &t.entry.children[0], n, nn)
+		[]*llxscx.Hdr{&n.hdr}, &t.entry.children[0], n, nn) {
+		return false
+	}
+	pr.h.remove(n)
+	return true
 }
 
 // fixCollapseRoot removes a unary internal root, shrinking the height.
@@ -180,17 +185,23 @@ func (t *Tree) fixCollapseRoot(pr *prims, vio violation) bool {
 	if pr.m == modeFast {
 		t.entry.children[0].Set(pr.tx, child)
 		n.hdr.SetMarked(pr.tx)
+		pr.h.remove(n)
 		return true
 	}
 	nc, ci, ok := pr.copyNode(child, child.tagged)
 	if !ok {
 		return false
 	}
-	return pr.scx(
+	if !pr.scx(
 		[]*llxscx.Hdr{&t.entry.hdr, &n.hdr, &child.hdr},
 		[]*llxscx.Info{ei, ni, ci},
 		[]*llxscx.Hdr{&n.hdr, &child.hdr},
-		&t.entry.children[0], n, nc)
+		&t.entry.children[0], n, nc) {
+		return false
+	}
+	pr.h.remove(n)
+	pr.h.remove(child)
+	return true
 }
 
 // fixTag repairs a tagged non-root node n under parent p: if p has room,
@@ -240,15 +251,25 @@ func (t *Tree) fixTag(pr *prims, vio violation) bool {
 
 	if len(children) <= b {
 		// Absorb: one untagged replacement for p.
-		return pr.scx(v, infos, r, fld, p, newInternal(keys, children, false))
+		if !pr.scx(v, infos, r, fld, p, pr.h.newInternal(keys, children, false)) {
+			return false
+		}
+		pr.h.remove(p)
+		pr.h.remove(n)
+		return true
 	}
 	// Split-push-up: two halves under a new parent that inherits the tag
 	// (unless it becomes the root).
 	lo := (len(children) + 1) / 2
-	left := newInternal(keys[:lo-1], children[:lo], false)
-	right := newInternal(keys[lo:], children[lo:], false)
-	np := newInternal([]uint64{keys[lo-1]}, []*Node{left, right}, gp != t.entry)
-	return pr.scx(v, infos, r, fld, p, np)
+	left := pr.h.newInternal(keys[:lo-1], children[:lo], false)
+	right := pr.h.newInternal(keys[lo:], children[lo:], false)
+	np := pr.h.newInternal([]uint64{keys[lo-1]}, []*Node{left, right}, gp != t.entry)
+	if !pr.scx(v, infos, r, fld, p, np) {
+		return false
+	}
+	pr.h.remove(p)
+	pr.h.remove(n)
+	return true
 }
 
 // fixUnderfull repairs an underfull non-root node n: it joins with or
@@ -353,26 +374,35 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 		// Join left and right into one node.
 		var m *Node
 		if n.leaf {
-			m = newLeaf(b, append(append(make([]kv, 0, degL+degR), leftPairs...), rightPairs...))
+			m = pr.h.newLeaf(append(append(make([]kv, 0, degL+degR), leftPairs...), rightPairs...))
 		} else {
 			keys := make([]uint64, 0, degL+degR-1)
 			keys = append(keys, left.keys...)
 			keys = append(keys, sep)
 			keys = append(keys, right.keys...)
-			m = newInternal(keys, append(append(make([]*Node, 0, degL+degR), leftSnap...), rightSnap...), false)
+			m = pr.h.newInternal(keys, append(append(make([]*Node, 0, degL+degR), leftSnap...), rightSnap...), false)
 		}
+		var repl *Node
 		if gp == t.entry && len(pSnap) == 2 {
 			// p was the root and would become unary: collapse directly.
-			return pr.scx(v, infos, r, fld, p, m)
+			repl = m
+		} else {
+			nk := make([]uint64, 0, len(p.keys)-1)
+			nk = append(nk, p.keys[:li]...)
+			nk = append(nk, p.keys[li+1:]...)
+			nc := make([]*Node, 0, len(pSnap)-1)
+			nc = append(nc, pSnap[:li]...)
+			nc = append(nc, m)
+			nc = append(nc, pSnap[ri+1:]...)
+			repl = pr.h.newInternal(nk, nc, false)
 		}
-		nk := make([]uint64, 0, len(p.keys)-1)
-		nk = append(nk, p.keys[:li]...)
-		nk = append(nk, p.keys[li+1:]...)
-		nc := make([]*Node, 0, len(pSnap)-1)
-		nc = append(nc, pSnap[:li]...)
-		nc = append(nc, m)
-		nc = append(nc, pSnap[ri+1:]...)
-		return pr.scx(v, infos, r, fld, p, newInternal(nk, nc, false))
+		if !pr.scx(v, infos, r, fld, p, repl) {
+			return false
+		}
+		pr.h.remove(p)
+		pr.h.remove(left)
+		pr.h.remove(right)
+		return true
 	}
 
 	// Share: redistribute so both nodes have at least a entries.
@@ -381,8 +411,8 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 	var newSep uint64
 	if n.leaf {
 		all := append(append(make([]kv, 0, degL+degR), leftPairs...), rightPairs...)
-		nl = newLeaf(b, all[:lo])
-		nr = newLeaf(b, all[lo:])
+		nl = pr.h.newLeaf(all[:lo])
+		nr = pr.h.newLeaf(all[lo:])
 		newSep = all[lo].k
 	} else {
 		allC := append(append(make([]*Node, 0, degL+degR), leftSnap...), rightSnap...)
@@ -390,8 +420,8 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 		allK = append(allK, left.keys...)
 		allK = append(allK, sep)
 		allK = append(allK, right.keys...)
-		nl = newInternal(allK[:lo-1], allC[:lo], false)
-		nr = newInternal(allK[lo:], allC[lo:], false)
+		nl = pr.h.newInternal(allK[:lo-1], allC[:lo], false)
+		nr = pr.h.newInternal(allK[lo:], allC[lo:], false)
 		newSep = allK[lo-1]
 	}
 	nk := append([]uint64(nil), p.keys...)
@@ -399,5 +429,11 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 	nc := make([]*Node, len(pSnap))
 	copy(nc, pSnap)
 	nc[li], nc[ri] = nl, nr
-	return pr.scx(v, infos, r, fld, p, newInternal(nk, nc, false))
+	if !pr.scx(v, infos, r, fld, p, pr.h.newInternal(nk, nc, false)) {
+		return false
+	}
+	pr.h.remove(p)
+	pr.h.remove(left)
+	pr.h.remove(right)
+	return true
 }

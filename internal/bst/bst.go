@@ -28,11 +28,14 @@ package bst
 
 import (
 	"fmt"
+	"sync"
 
 	"htmtree/internal/dict"
+	"htmtree/internal/ebr"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
+	"htmtree/internal/nodepool"
 )
 
 // Sentinel keys (paper Section 6.1 / Ellen et al.).
@@ -46,25 +49,53 @@ const (
 // the fast path additionally mutates leaf values in place (val is
 // therefore a cell) — which is safe precisely because the fast path
 // never runs concurrently with the fallback path (Section 6.1).
+//
+// The key is a cell, not a plain field, because nodes are pooled and a
+// recycled node's key changes. The two node kinds read it differently:
+// internal nodes are reused only after a grace period (no reader can
+// ever observe their rewrite), so routing reads use the plain-load
+// Peek; leaves may recycle immediately after fast-path removals, so a
+// transactional leaf-key read uses GetStable — a stale reader that
+// still holds the leaf (obtained before its removal committed) aborts
+// on the recycled key rather than misreport membership. The leaf flag
+// stays plain — the pools are segregated by node kind, so it is
+// write-once for the node's lifetime.
 type Node struct {
 	hdr  llxscx.Hdr
-	key  uint64
+	key  htm.Word
 	leaf bool
 	val  htm.Word
 	l, r htm.Ref[Node]
 }
 
-// Key returns the node's (immutable) key. Exported for tests.
-func (n *Node) Key() uint64 { return n.key }
+// Key returns the node's current key. Exported for tests.
+func (n *Node) Key() uint64 { return n.key.GetStable(nil) }
 
-func newLeaf(key, val uint64) *Node {
-	n := &Node{key: key, leaf: true}
+// bind joins every cell of the node to the tree's clock domain. Called
+// once per node lifetime (heap allocation), not per pool reuse.
+func (n *Node) bind(clk *htm.Clock) {
+	n.hdr.Bind(clk)
+	n.key.Bind(clk)
+	n.val.Bind(clk)
+	n.l.Bind(clk)
+	n.r.Bind(clk)
+}
+
+// newLeaf and newInternal build heap nodes for tree bootstrap; steady
+// state operations allocate through the handle pools instead
+// (Handle.newLeaf / Handle.newInternal in pool.go).
+func newLeaf(clk *htm.Clock, key, val uint64) *Node {
+	n := &Node{leaf: true}
+	n.bind(clk)
+	n.key.Init(key)
 	n.val.Init(val)
 	return n
 }
 
-func newInternal(key uint64, left, right *Node) *Node {
-	n := &Node{key: key}
+func newInternal(clk *htm.Clock, key uint64, left, right *Node) *Node {
+	n := &Node{}
+	n.bind(clk)
+	n.key.Init(key)
 	n.l.Init(left)
 	n.r.Init(right)
 	return n
@@ -90,6 +121,13 @@ type Tree struct {
 	eng  *engine.Engine
 	root *Node
 	cfg  Config
+
+	// sumMu serializes KeySum's shared reclamation context sumRd, which
+	// keeps the walk inside the epoch domain so pooled nodes cannot be
+	// recycled under it (the sharding layer runs KeySum concurrently
+	// with updates when validating consistent cuts).
+	sumMu sync.Mutex
+	sumRd *ebr.Thread
 }
 
 // New creates an empty tree.
@@ -99,12 +137,15 @@ func New(cfg Config) *Tree {
 	}
 	ecfg := cfg.Engine
 	ecfg.Algorithm = cfg.Algorithm
+	tm := htm.New(cfg.HTM)
 	t := &Tree{
-		tm:   htm.New(cfg.HTM),
-		eng:  engine.New(ecfg),
-		root: newInternal(keyInf2, newLeaf(keyInf1, 0), newLeaf(keyInf2, 0)),
-		cfg:  cfg,
+		tm:  tm,
+		eng: engine.New(ecfg, tm.Clock()),
+		cfg: cfg,
 	}
+	t.root = newInternal(tm.Clock(), keyInf2,
+		newLeaf(tm.Clock(), keyInf1, 0), newLeaf(tm.Clock(), keyInf2, 0))
+	t.sumRd = t.eng.ReclaimReader()
 	return t
 }
 
@@ -125,15 +166,24 @@ func (t *Tree) HTMStats() htm.Stats { return t.tm.Stats() }
 // Handle is a per-thread handle to the tree. Operation arguments and
 // results travel through the handle's scratch fields so the engine op
 // closures can be built once per handle instead of once per operation.
+// The handle also owns the thread's node pools (pool.go): steady-state
+// inserts draw nodes from them and deletions feed them back through
+// epoch-based reclamation, so the point-operation hot path allocates
+// nothing.
 type Handle struct {
-	t *Tree
-	e *engine.Thread
+	t   *Tree
+	e   *engine.Thread
+	clk *htm.Clock
 
 	argKey, argVal uint64
 	argLo, argHi   uint64
 	resVal         uint64
 	resFound       bool
 	rqOut          []dict.KV
+
+	// pool holds the thread's node free lists and attempt state
+	// (internal/nodepool; wired to the BST's node kinds in pool.go).
+	pool *nodepool.Pool[Node]
 
 	insertOp, deleteOp, searchOp, rqOp engine.Op
 }
@@ -144,7 +194,9 @@ var _ dict.Handle = (*Handle)(nil)
 func (t *Tree) NewHandle() dict.Handle { return t.newHandle() }
 
 func (t *Tree) newHandle() *Handle {
-	h := &Handle{t: t, e: t.eng.NewThread(t.tm.NewThread())}
+	h := &Handle{t: t, e: t.eng.NewThread(t.tm.NewThread()), clk: t.tm.Clock()}
+	h.pool = nodepool.New[Node](func(n *Node) bool { return n.leaf }, h.freshNode, h.e)
+	h.e.EnableReclaim(h.pool.Release, t.cfg.SearchOutsideTx)
 	h.buildOps()
 	return h
 }
@@ -155,8 +207,12 @@ func (t *Tree) newHandle() *Handle {
 func (h *Handle) SetGateBypass(bypass bool) { h.e.SetGateBypass(bypass) }
 
 // childRef returns the child field of p that a search for key follows.
+// p is always internal, and internal nodes are reused only after a
+// grace period, so the routing key is immutable for as long as anyone
+// can hold p: a plain Peek suffices (and keeps the descent at one
+// validated read per level).
 func childRef(p *Node, key uint64) *htm.Ref[Node] {
-	if key < p.key {
+	if key < p.key.Peek() {
 		return &p.l
 	}
 	return &p.r
@@ -176,16 +232,25 @@ func (t *Tree) search(tx *htm.Tx, key uint64) (gp, p, l *Node) {
 	return gp, p, l
 }
 
-// KeySum returns the sum and count of user keys. Quiescent use only.
+// KeySum returns the sum and count of user keys. The walk joins the
+// tree's reclamation domain (Begin/End on a dedicated reader context),
+// so concurrent updaters cannot recycle nodes under it: the sharding
+// layer's consistent cuts call KeySum while updates run and rely on the
+// monitor validation to discard racing results — which requires the
+// racing walk itself to be memory-safe on pooled nodes.
 func (t *Tree) KeySum() (sum, count uint64) {
+	t.sumMu.Lock()
+	defer t.sumMu.Unlock()
+	t.sumRd.Begin()
+	defer t.sumRd.End()
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n == nil {
 			return
 		}
 		if n.leaf {
-			if n.key < keyInf1 {
-				sum += n.key
+			if k := n.key.GetStable(nil); k < keyInf1 {
+				sum += k
 				count++
 			}
 			return
@@ -211,24 +276,25 @@ func checkNode(n *Node, lo, hi uint64) error {
 	if n == nil {
 		return fmt.Errorf("bst: nil node reachable")
 	}
+	key := n.key.GetStable(nil)
 	if n.hdr.Marked(nil) {
-		return fmt.Errorf("bst: reachable node with key %d is marked", n.key)
+		return fmt.Errorf("bst: reachable node with key %d is marked", key)
 	}
-	if n.key < lo || n.key > hi {
-		return fmt.Errorf("bst: key %d outside routing range [%d,%d]", n.key, lo, hi)
+	if key < lo || key > hi {
+		return fmt.Errorf("bst: key %d outside routing range [%d,%d]", key, lo, hi)
 	}
 	if n.leaf {
 		return nil
 	}
 	l, r := n.l.Get(nil), n.r.Get(nil)
 	if l == nil || r == nil {
-		return fmt.Errorf("bst: internal node %d missing a child", n.key)
+		return fmt.Errorf("bst: internal node %d missing a child", key)
 	}
-	if n.key == 0 {
+	if key == 0 {
 		return fmt.Errorf("bst: internal node with key 0 (nothing can route left)")
 	}
-	if err := checkNode(l, lo, n.key-1); err != nil {
+	if err := checkNode(l, lo, key-1); err != nil {
 		return err
 	}
-	return checkNode(r, n.key, hi)
+	return checkNode(r, key, hi)
 }

@@ -54,7 +54,7 @@ func (h *Handle) buildOps() {
 func (h *Handle) Insert(key, val uint64) (uint64, bool) {
 	checkKey(key)
 	h.argKey, h.argVal = key, val
-	h.e.Run(h.insertOp)
+	h.settle(h.e.Run(h.insertOp))
 	return h.resVal, h.resFound
 }
 
@@ -62,7 +62,7 @@ func (h *Handle) Insert(key, val uint64) (uint64, bool) {
 func (h *Handle) Delete(key uint64) (uint64, bool) {
 	checkKey(key)
 	h.argKey = key
-	h.e.Run(h.deleteOp)
+	h.settle(h.e.Run(h.deleteOp))
 	return h.resVal, h.resFound
 }
 
@@ -121,12 +121,14 @@ func revalidate(tx *htm.Tx, key uint64, gp, p, l *Node) {
 // when tx == nil) ----
 
 func (t *Tree) insertFast(tx *htm.Tx, h *Handle) {
+	h.beginAttempt()
 	key, val := h.argKey, h.argVal
 	gp, p, l := t.locate(tx, key)
 	if t.cfg.SearchOutsideTx && tx != nil {
 		revalidate(tx, key, gp, p, l)
 	}
-	if l.key == key {
+	lk := l.key.GetStable(tx)
+	if lk == key {
 		// Directly update the value in place: the big fast-path win the
 		// paper describes (no node creation).
 		h.resVal, h.resFound = l.val.Get(tx), true
@@ -134,36 +136,38 @@ func (t *Tree) insertFast(tx *htm.Tx, h *Handle) {
 		return
 	}
 	h.resVal, h.resFound = 0, false
-	nl := newLeaf(key, val)
+	nl := h.newLeaf(key, val)
 	var ni *Node
-	if key < l.key {
-		ni = newInternal(l.key, nl, l)
+	if key < lk {
+		ni = h.newInternal(lk, nl, l)
 	} else {
-		ni = newInternal(key, l, nl)
+		ni = h.newInternal(key, l, nl)
 	}
 	childRef(p, key).Set(tx, ni)
 }
 
 func (t *Tree) deleteFast(tx *htm.Tx, h *Handle) {
+	h.beginAttempt()
 	key := h.argKey
 	gp, p, l := t.locate(tx, key)
 	if t.cfg.SearchOutsideTx && tx != nil {
 		revalidate(tx, key, gp, p, l)
 	}
-	if l.key != key {
+	if l.key.GetStable(tx) != key {
 		h.resVal, h.resFound = 0, false
 		return
 	}
 	h.resVal, h.resFound = l.val.Get(tx), true
 	if gp == nil {
 		// l hangs directly off the root: restore the empty-tree sentinel.
-		t.root.l.Set(tx, newLeaf(keyInf1, 0))
+		t.root.l.Set(tx, h.newLeaf(keyInf1, 0))
 		l.hdr.SetMarked(tx)
+		h.remove(l)
 		return
 	}
 	// Reuse the sibling directly instead of copying it (Figure 13).
 	var s *Node
-	if key < p.key {
+	if key < p.key.Peek() {
 		s = p.r.Get(tx)
 	} else {
 		s = p.l.Get(tx)
@@ -171,11 +175,13 @@ func (t *Tree) deleteFast(tx *htm.Tx, h *Handle) {
 	childRef(gp, key).Set(tx, s)
 	p.hdr.SetMarked(tx)
 	l.hdr.SetMarked(tx)
+	h.remove(p)
+	h.remove(l)
 }
 
 func (t *Tree) searchBody(tx *htm.Tx, h *Handle) {
 	_, _, l := t.search(tx, h.argKey)
-	if l.key == h.argKey {
+	if l.key.GetStable(tx) == h.argKey {
 		h.resVal, h.resFound = l.val.Get(tx), true
 		return
 	}
@@ -186,6 +192,7 @@ func (t *Tree) searchBody(tx *htm.Tx, h *Handle) {
 // with transactional LLX and SCXInTx; Section 5) ----
 
 func (t *Tree) insertMiddle(tx *htm.Tx, h *Handle) {
+	h.beginAttempt()
 	key, val := h.argKey, h.argVal
 	_, p, _ := t.locate(tx, key)
 	var pl, pr *Node
@@ -196,7 +203,7 @@ func (t *Tree) insertMiddle(tx *htm.Tx, h *Handle) {
 		tx.Abort(engine.CodeRetry)
 	}
 	l := pl
-	if key >= p.key {
+	if key >= p.key.Peek() {
 		l = pr
 	}
 	if !l.leaf {
@@ -206,23 +213,25 @@ func (t *Tree) insertMiddle(tx *htm.Tx, h *Handle) {
 	if _, st := llxscx.LLX(tx, &l.hdr, nil); st != llxscx.StatusOK {
 		tx.Abort(engine.CodeRetry)
 	}
-	if l.key == key {
+	lk := l.key.GetStable(tx)
+	if lk == key {
 		// Replace the leaf by a new copy holding the new value: the
 		// template may not modify immutable fields in place.
 		h.resVal, h.resFound = l.val.Get(tx), true
-		nl := newLeaf(key, val)
+		nl := h.newLeaf(key, val)
 		llxscx.SCXInTx(tx, &h.e.Tags,
 			[]*llxscx.Hdr{&p.hdr, &l.hdr}, []*llxscx.Hdr{&l.hdr})
 		childRef(p, key).Set(tx, nl)
+		h.remove(l)
 		return
 	}
 	h.resVal, h.resFound = 0, false
-	nl := newLeaf(key, val)
+	nl := h.newLeaf(key, val)
 	var ni *Node
-	if key < l.key {
-		ni = newInternal(l.key, nl, l)
+	if key < lk {
+		ni = h.newInternal(lk, nl, l)
 	} else {
-		ni = newInternal(key, l, nl)
+		ni = h.newInternal(key, l, nl)
 	}
 	llxscx.SCXInTx(tx, &h.e.Tags,
 		[]*llxscx.Hdr{&p.hdr, &l.hdr}, nil)
@@ -230,9 +239,10 @@ func (t *Tree) insertMiddle(tx *htm.Tx, h *Handle) {
 }
 
 func (t *Tree) deleteMiddle(tx *htm.Tx, h *Handle) {
+	h.beginAttempt()
 	key := h.argKey
 	gp, p, l := t.locate(tx, key)
-	if l.key != key {
+	if l.key.GetStable(tx) != key {
 		h.resVal, h.resFound = 0, false
 		return
 	}
@@ -247,7 +257,7 @@ func (t *Tree) deleteMiddle(tx *htm.Tx, h *Handle) {
 		if !rl.leaf {
 			tx.Abort(engine.CodeRetry) // tree grew meanwhile; retry
 		}
-		if rl.key != key {
+		if rl.key.GetStable(tx) != key {
 			h.resVal, h.resFound = 0, false
 			return
 		}
@@ -257,7 +267,8 @@ func (t *Tree) deleteMiddle(tx *htm.Tx, h *Handle) {
 		h.resVal, h.resFound = rl.val.Get(tx), true
 		llxscx.SCXInTx(tx, &h.e.Tags,
 			[]*llxscx.Hdr{&t.root.hdr, &rl.hdr}, []*llxscx.Hdr{&rl.hdr})
-		t.root.l.Set(tx, newLeaf(keyInf1, 0))
+		t.root.l.Set(tx, h.newLeaf(keyInf1, 0))
+		h.remove(rl)
 		return
 	}
 
@@ -269,7 +280,7 @@ func (t *Tree) deleteMiddle(tx *htm.Tx, h *Handle) {
 		tx.Abort(engine.CodeRetry)
 	}
 	p2 := gl
-	if key >= gp.key {
+	if key >= gp.key.Peek() {
 		p2 = gr
 	}
 	if p2 != p {
@@ -283,7 +294,7 @@ func (t *Tree) deleteMiddle(tx *htm.Tx, h *Handle) {
 		tx.Abort(engine.CodeRetry)
 	}
 	l2, s := pl, pr
-	if key >= p.key {
+	if key >= p.key.Peek() {
 		l2, s = pr, pl
 	}
 	if l2 != l {
@@ -305,14 +316,17 @@ func (t *Tree) deleteMiddle(tx *htm.Tx, h *Handle) {
 	// Replace p and l with a copy of the sibling (Figure 12).
 	var ns *Node
 	if s.leaf {
-		ns = newLeaf(s.key, s.val.Get(tx))
+		ns = h.newLeaf(s.key.GetStable(tx), s.val.Get(tx))
 	} else {
-		ns = newInternal(s.key, sl, sr)
+		ns = h.newInternal(s.key.Peek(), sl, sr)
 	}
 	llxscx.SCXInTx(tx, &h.e.Tags,
 		[]*llxscx.Hdr{&gp.hdr, &p.hdr, &l.hdr, &s.hdr},
 		[]*llxscx.Hdr{&p.hdr, &l.hdr, &s.hdr})
 	childRef(gp, key).Set(tx, ns)
+	h.remove(p)
+	h.remove(l)
+	h.remove(s)
 }
 
 // ---- fallback path (original template with LLXO/SCXO, Figure 12) and
@@ -320,6 +334,7 @@ func (t *Tree) deleteMiddle(tx *htm.Tx, h *Handle) {
 
 // insertTemplate returns false to request a retry.
 func (t *Tree) insertTemplate(h *Handle, useHTM bool) bool {
+	h.beginAttempt()
 	key, val := h.argKey, h.argVal
 	_, p, _ := t.search(nil, key)
 	var pl, pr *Node
@@ -331,7 +346,7 @@ func (t *Tree) insertTemplate(h *Handle, useHTM bool) bool {
 		return false
 	}
 	l := pl
-	if key >= p.key {
+	if key >= p.key.Peek() {
 		l = pr
 	}
 	if !l.leaf {
@@ -346,26 +361,32 @@ func (t *Tree) insertTemplate(h *Handle, useHTM bool) bool {
 	infos := []*llxscx.Info{pi, li}
 	fld := childRef(p, key)
 
-	if l.key == key {
+	lk := l.key.Peek()
+	if lk == key {
 		h.resVal, h.resFound = l.val.Get(nil), true
-		nl := newLeaf(key, val)
-		return t.runSCX(h, useHTM, v, infos, []*llxscx.Hdr{&l.hdr}, fld, l, nl)
+		nl := h.newLeaf(key, val)
+		if !t.runSCX(h, useHTM, v, infos, []*llxscx.Hdr{&l.hdr}, fld, l, nl) {
+			return false
+		}
+		h.remove(l)
+		return true
 	}
 	h.resVal, h.resFound = 0, false
-	nl := newLeaf(key, val)
+	nl := h.newLeaf(key, val)
 	var ni *Node
-	if key < l.key {
-		ni = newInternal(l.key, nl, l)
+	if key < lk {
+		ni = h.newInternal(lk, nl, l)
 	} else {
-		ni = newInternal(key, l, nl)
+		ni = h.newInternal(key, l, nl)
 	}
 	return t.runSCX(h, useHTM, v, infos, nil, fld, l, ni)
 }
 
 func (t *Tree) deleteTemplate(h *Handle, useHTM bool) bool {
+	h.beginAttempt()
 	key := h.argKey
 	gp, p, l := t.search(nil, key)
-	if l.key != key {
+	if l.key.Peek() != key {
 		h.resVal, h.resFound = 0, false
 		return true
 	}
@@ -379,7 +400,7 @@ func (t *Tree) deleteTemplate(h *Handle, useHTM bool) bool {
 		if !rl.leaf {
 			return false
 		}
-		if rl.key != key {
+		if rl.key.Peek() != key {
 			h.resVal, h.resFound = 0, false
 			return true
 		}
@@ -388,9 +409,13 @@ func (t *Tree) deleteTemplate(h *Handle, useHTM bool) bool {
 			return false
 		}
 		h.resVal, h.resFound = rl.val.Get(nil), true
-		return t.runSCX(h, useHTM,
+		if !t.runSCX(h, useHTM,
 			[]*llxscx.Hdr{&t.root.hdr, &rl.hdr}, []*llxscx.Info{ri, li},
-			[]*llxscx.Hdr{&rl.hdr}, &t.root.l, rl, newLeaf(keyInf1, 0))
+			[]*llxscx.Hdr{&rl.hdr}, &t.root.l, rl, h.newLeaf(keyInf1, 0)) {
+			return false
+		}
+		h.remove(rl)
+		return true
 	}
 
 	var gl, gr *Node
@@ -402,7 +427,7 @@ func (t *Tree) deleteTemplate(h *Handle, useHTM bool) bool {
 		return false
 	}
 	p2 := gl
-	if key >= gp.key {
+	if key >= gp.key.Peek() {
 		p2 = gr
 	}
 	if p2 != p {
@@ -417,7 +442,7 @@ func (t *Tree) deleteTemplate(h *Handle, useHTM bool) bool {
 		return false
 	}
 	l2, s := pl, pr
-	if key >= p.key {
+	if key >= p.key.Peek() {
 		l2, s = pr, pl
 	}
 	if l2 != l {
@@ -440,15 +465,21 @@ func (t *Tree) deleteTemplate(h *Handle, useHTM bool) bool {
 	h.resVal, h.resFound = l.val.Get(nil), true
 	var ns *Node
 	if s.leaf {
-		ns = newLeaf(s.key, s.val.Get(nil))
+		ns = h.newLeaf(s.key.Peek(), s.val.Get(nil))
 	} else {
-		ns = newInternal(s.key, sl, sr)
+		ns = h.newInternal(s.key.Peek(), sl, sr)
 	}
-	return t.runSCX(h, useHTM,
+	if !t.runSCX(h, useHTM,
 		[]*llxscx.Hdr{&gp.hdr, &p.hdr, &l.hdr, &s.hdr},
 		[]*llxscx.Info{gi, pi, li, si},
 		[]*llxscx.Hdr{&p.hdr, &l.hdr, &s.hdr},
-		childRef(gp, key), p, ns)
+		childRef(gp, key), p, ns) {
+		return false
+	}
+	h.remove(p)
+	h.remove(l)
+	h.remove(s)
+	return true
 }
 
 // runSCX dispatches the update phase to SCXO or the standalone HTM SCX.
@@ -476,15 +507,16 @@ func (t *Tree) rqInTx(tx *htm.Tx, h *Handle) {
 
 func (t *Tree) rqWalkTx(tx *htm.Tx, n *Node, h *Handle) {
 	if n.leaf {
-		if n.key >= h.argLo && n.key < h.argHi && n.key < keyInf1 {
-			h.rqOut = append(h.rqOut, dict.KV{Key: n.key, Val: n.val.Get(tx)})
+		if k := n.key.GetStable(tx); k >= h.argLo && k < h.argHi && k < keyInf1 {
+			h.rqOut = append(h.rqOut, dict.KV{Key: k, Val: n.val.Get(tx)})
 		}
 		return
 	}
-	if h.argLo < n.key {
+	k := n.key.Peek() // internal: grace-protected
+	if h.argLo < k {
 		t.rqWalkTx(tx, n.l.Get(tx), h)
 	}
-	if h.argHi > n.key {
+	if h.argHi > k {
 		t.rqWalkTx(tx, n.r.Get(tx), h)
 	}
 }
@@ -505,8 +537,10 @@ func (t *Tree) rqFallback(h *Handle) bool {
 
 func (t *Tree) rqWalkLLX(n *Node, h *Handle) bool {
 	if n.leaf {
-		if n.key >= h.argLo && n.key < h.argHi && n.key < keyInf1 {
-			h.rqOut = append(h.rqOut, dict.KV{Key: n.key, Val: n.val.Get(nil)})
+		// Fallback path: the presence indicator excludes immediate
+		// recycling while this walk runs, so a plain peek is sound.
+		if k := n.key.Peek(); k >= h.argLo && k < h.argHi && k < keyInf1 {
+			h.rqOut = append(h.rqOut, dict.KV{Key: k, Val: n.val.Get(nil)})
 		}
 		return true
 	}
@@ -517,10 +551,11 @@ func (t *Tree) rqWalkLLX(n *Node, h *Handle) bool {
 	}); st != llxscx.StatusOK {
 		return false
 	}
-	if h.argLo < n.key && !t.rqWalkLLX(nl, h) {
+	k := n.key.Peek()
+	if h.argLo < k && !t.rqWalkLLX(nl, h) {
 		return false
 	}
-	if h.argHi > n.key && !t.rqWalkLLX(nr, h) {
+	if h.argHi > k && !t.rqWalkLLX(nr, h) {
 		return false
 	}
 	return true

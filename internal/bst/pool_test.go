@@ -1,0 +1,146 @@
+package bst
+
+import (
+	"testing"
+
+	"htmtree/internal/engine"
+)
+
+// TestPoolReuseSteadyState: a delete/insert cycle on the fast path must
+// reach a steady state where every insert draws from the pool and no
+// fresh nodes are allocated.
+func TestPoolReuseSteadyState(t *testing.T) {
+	t.Parallel()
+	tr := New(Config{Algorithm: engine.AlgThreePath})
+	h := tr.newHandle()
+	for k := uint64(1); k <= 64; k++ {
+		h.Insert(k, k)
+	}
+	// Warm the grace-period circulation: internal nodes come back from
+	// the epoch bags in batches, so the pool needs a few epochs' worth
+	// of nodes in flight before it sustains the cycle alone.
+	for i := 0; i < 300; i++ {
+		k := uint64(i%64) + 1
+		h.Delete(k)
+		h.Insert(k, k)
+	}
+	warm := h.ReclaimStats()
+	for i := 0; i < 1000; i++ {
+		k := uint64(i%64) + 1
+		h.Delete(k)
+		h.Insert(k, k)
+	}
+	st := h.ReclaimStats()
+	if st.Reused == warm.Reused {
+		t.Fatal("steady-state cycle never reused a pooled node")
+	}
+	if st.Fresh != warm.Fresh {
+		t.Fatalf("steady-state cycle heap-allocated %d nodes", st.Fresh-warm.Fresh)
+	}
+	if st.RetiredFast == warm.RetiredFast {
+		t.Fatal("fast-path deletions never recycled immediately")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetireFastGatedByFallbackReader is the white-box reclamation
+// check: while an operation is (simulated) live on the fallback path,
+// removals must not recycle immediately — the deleting operation is
+// pushed off the fast path by the presence indicator, and its nodes
+// take the grace period, so none can be handed out under the reader.
+func TestRetireFastGatedByFallbackReader(t *testing.T) {
+	t.Parallel()
+	ind := engine.NewSNZIIndicator()
+	tr := New(Config{
+		Algorithm: engine.AlgThreePath,
+		Engine:    engine.Config{Indicator: ind},
+	})
+	h := tr.newHandle()
+	for k := uint64(1); k <= 64; k++ {
+		h.Insert(k, k)
+	}
+
+	// Unobstructed: a fast-path delete recycles immediately — the nodes
+	// are in the pool before the next operation starts.
+	before := h.ReclaimStats()
+	h.Delete(10)
+	after := h.ReclaimStats()
+	if after.RetiredFast == before.RetiredFast {
+		t.Fatalf("unobstructed fast-path delete did not recycle immediately: %+v", after)
+	}
+	if h.PoolSize() == 0 {
+		t.Fatal("immediately recycled nodes not in the pool")
+	}
+
+	// Drain the pool back into the tree so pool-size observations below
+	// start from zero.
+	for h.PoolSize() > 0 {
+		k := uint64(1000 + h.PoolSize())
+		h.Insert(k, k)
+	}
+
+	// A live fallback-path operation (simulated by arriving on the
+	// engine's presence indicator, exactly what runFallbackLoop does)
+	// must force the delete off the fast path and its removals to the
+	// grace period: nothing is handed out while the reader is live.
+	depart := ind.Arrive()
+	mid := h.ReclaimStats()
+	poolBefore := h.PoolSize()
+	h.Delete(20)
+	st := h.ReclaimStats()
+	if st.RetiredFast != mid.RetiredFast {
+		t.Fatalf("RetireFast happened while a fallback-path reader was live: %+v", st)
+	}
+	if st.RetiredGrace == mid.RetiredGrace {
+		t.Fatal("delete under a live fallback reader retired nothing")
+	}
+	if h.PoolSize() != poolBefore {
+		t.Fatal("grace-period node reached the pool while the fallback reader was live")
+	}
+	depart()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchOutsideTxDisablesFastRecycle: with Section 8 out-of-band
+// searches enabled, every path has non-transactional readers, so no
+// removal may recycle immediately.
+func TestSearchOutsideTxDisablesFastRecycle(t *testing.T) {
+	t.Parallel()
+	tr := New(Config{Algorithm: engine.AlgThreePath, SearchOutsideTx: true})
+	h := tr.newHandle()
+	for k := uint64(1); k <= 64; k++ {
+		h.Insert(k, k)
+	}
+	for k := uint64(1); k <= 64; k++ {
+		h.Delete(k)
+	}
+	st := h.ReclaimStats()
+	if st.RetiredFast != 0 {
+		t.Fatalf("RetireFast used despite out-of-band searches: %+v", st)
+	}
+	if st.RetiredGrace == 0 {
+		t.Fatal("deletes retired nothing")
+	}
+}
+
+// TestTwoPathConcNeverFastRecycles: 2-path-con's "fast" path is the
+// instrumented body running concurrently with the fallback path, so the
+// Section 9 immediate-recycle rule never applies.
+func TestTwoPathConcNeverFastRecycles(t *testing.T) {
+	t.Parallel()
+	tr := New(Config{Algorithm: engine.AlgTwoPathConc})
+	h := tr.newHandle()
+	for k := uint64(1); k <= 32; k++ {
+		h.Insert(k, k)
+	}
+	for k := uint64(1); k <= 32; k++ {
+		h.Delete(k)
+	}
+	if st := h.ReclaimStats(); st.RetiredFast != 0 {
+		t.Fatalf("2-path-con recycled immediately: %+v", st)
+	}
+}

@@ -40,8 +40,13 @@ type Node struct {
 	marked htm.Word
 }
 
-func newNode(key, val uint64, l, r *Node) *Node {
+func newNode(clk *htm.Clock, key, val uint64, l, r *Node) *Node {
 	n := &Node{key: key}
+	n.val.Bind(clk)
+	n.l.Bind(clk)
+	n.r.Bind(clk)
+	n.lock.Bind(clk)
+	n.marked.Bind(clk)
 	n.val.Init(val)
 	n.l.Init(l)
 	n.r.Init(r)
@@ -87,11 +92,12 @@ func New(cfg Config) *Tree {
 	}
 	ecfg := cfg.Engine
 	ecfg.Algorithm = cfg.Algorithm
+	tm := htm.New(cfg.HTM)
 	return &Tree{
-		tm:   htm.New(cfg.HTM),
-		eng:  engine.New(ecfg),
+		tm:   tm,
+		eng:  engine.New(ecfg, tm.Clock()),
 		rcu:  rcu.New(),
-		root: newNode(keyInf, 0, nil, nil),
+		root: newNode(tm.Clock(), keyInf, 0, nil, nil),
 	}
 }
 
@@ -232,7 +238,7 @@ func (t *Tree) insertTx(tx *htm.Tx, h *Handle, lockCheck bool) {
 		prev.lockFreeInTx(tx)
 	}
 	h.resVal, h.resFound = 0, false
-	childRef(prev, key).Set(tx, newNode(key, val, nil, nil))
+	childRef(prev, key).Set(tx, newNode(t.tm.Clock(), key, val, nil, nil))
 }
 
 // insertMiddle wraps insertTx in a read-side critical section (the
@@ -287,9 +293,9 @@ func (t *Tree) deleteTx(tx *htm.Tx, h *Handle, lockCheck bool) {
 	var repl *Node
 	if sp == cur {
 		// Successor is cur's right child: absorb it directly.
-		repl = newNode(s.key, s.val.Get(tx), cl, s.r.Get(tx))
+		repl = newNode(t.tm.Clock(), s.key, s.val.Get(tx), cl, s.r.Get(tx))
 	} else {
-		repl = newNode(s.key, s.val.Get(tx), cl, cr)
+		repl = newNode(t.tm.Clock(), s.key, s.val.Get(tx), cl, cr)
 		sp.l.Set(tx, s.r.Get(tx))
 	}
 	childRef(prev, key).Set(tx, repl)
@@ -364,7 +370,7 @@ func (t *Tree) insertFallback(h *Handle) bool {
 		return false
 	}
 	h.resVal, h.resFound = 0, false
-	childRef(prev, key).Set(nil, newNode(key, val, nil, nil))
+	childRef(prev, key).Set(nil, newNode(t.tm.Clock(), key, val, nil, nil))
 	return true
 }
 
@@ -433,7 +439,7 @@ func (t *Tree) deleteFallback(h *Handle) bool {
 	}
 
 	if sp == cur {
-		repl := newNode(s.key, s.val.Get(nil), cl, s.r.Get(nil))
+		repl := newNode(t.tm.Clock(), s.key, s.val.Get(nil), cl, s.r.Get(nil))
 		childRef(prev, key).Set(nil, repl)
 		cur.marked.Set(nil, 1)
 		s.marked.Set(nil, 1)
@@ -442,7 +448,7 @@ func (t *Tree) deleteFallback(h *Handle) bool {
 	// Replace cur by a copy carrying the successor's key, wait for
 	// readers that may already be descending toward the successor, then
 	// unlink the successor.
-	repl := newNode(s.key, s.val.Get(nil), cl, cr)
+	repl := newNode(t.tm.Clock(), s.key, s.val.Get(nil), cl, cr)
 	childRef(prev, key).Set(nil, repl)
 	cur.marked.Set(nil, 1)
 	t.rcu.Synchronize()

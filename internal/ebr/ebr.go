@@ -42,6 +42,7 @@ type Thread struct {
 	ann     atomic.Uint64 // announced epoch<<1 | active
 	bags    [3][]any
 	bagEra  [3]uint64
+	lastE   uint64 // epoch last seen by Begin (drain gating)
 	retires int
 	free    func(any)
 }
@@ -58,11 +59,16 @@ func (m *Manager) NewThread(free func(any)) *Thread {
 
 // Begin enters an operation: the thread announces the current epoch and
 // becomes visible to grace-period computations. Operations must be
-// bracketed Begin/End and must not nest.
+// bracketed Begin/End and must not nest. Bags are only scanned when the
+// epoch moved since the previous Begin, which keeps the per-operation
+// cost of an idle reclamation domain at two atomic operations.
 func (t *Thread) Begin() {
 	e := t.m.epoch.Load()
 	t.ann.Store(e<<1 | 1)
-	t.drain(e)
+	if e != t.lastE {
+		t.lastE = e
+		t.drain(e)
+	}
 }
 
 // End leaves the operation.

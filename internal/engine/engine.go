@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"htmtree/internal/ebr"
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
 	"htmtree/internal/snzi"
@@ -109,6 +110,11 @@ type Indicator interface {
 	// transactional read (tx != nil) subscribes the caller so that a
 	// change aborts it (for an SNZI, only 0↔nonzero transitions do).
 	Nonzero(tx *htm.Tx) bool
+	// Bind associates the indicator's cells with the version clock of
+	// the TM whose transactions subscribe to it: arrivals mutate the
+	// cells non-transactionally and must advance that clock. The engine
+	// binds its indicator (and its monitor's gate) at construction.
+	Bind(c *htm.Clock)
 }
 
 // counterIndicator is the plain fetch-and-increment implementation.
@@ -122,6 +128,7 @@ func (c *counterIndicator) Arrive() func() {
 }
 func (c *counterIndicator) depart()                 { c.f.Add(^uint64(0)) }
 func (c *counterIndicator) Nonzero(tx *htm.Tx) bool { return c.f.Get(tx) != 0 }
+func (c *counterIndicator) Bind(clk *htm.Clock)     { c.f.Bind(clk) }
 
 // snziIndicator adapts an SNZI to the Indicator interface.
 type snziIndicator struct {
@@ -138,6 +145,7 @@ func (si *snziIndicator) Arrive() func() {
 	return func() { si.s.Depart(t) }
 }
 func (si *snziIndicator) Nonzero(tx *htm.Tx) bool { return si.s.Nonzero(tx) }
+func (si *snziIndicator) Bind(c *htm.Clock)       { si.s.Bind(c) }
 
 // Config controls an Engine.
 type Config struct {
@@ -182,26 +190,39 @@ func (c Config) withDefaults() Config {
 // Engine executes operations according to one of the template
 // algorithms.
 type Engine struct {
-	cfg Config
-	tle htm.Word // TLE global lock (0 free, 1 held)
+	cfg     Config
+	tle     htm.Word     // TLE global lock (0 free, 1 held)
+	reclaim *ebr.Manager // epoch domain for the structure's node pools
 
 	mu      sync.Mutex
 	threads []*Thread
 }
 
-// New creates an engine. Zero fields of cfg select defaults.
-func New(cfg Config) *Engine {
+// New creates an engine bound to the version clock of the TM whose
+// threads it will run (htm.TM.Clock). The engine's own cells — the TLE
+// lock, the fallback-presence indicator, and the cells of the update
+// monitor, all of which transactions subscribe to and non-transactional
+// paths mutate — join that clock's synchronization domain here. Zero
+// fields of cfg select defaults.
+func New(cfg Config, clk *htm.Clock) *Engine {
 	if cfg.Algorithm == 0 {
 		cfg.Algorithm = AlgThreePath
 	}
-	return &Engine{cfg: cfg.withDefaults()}
+	e := &Engine{cfg: cfg.withDefaults(), reclaim: ebr.New()}
+	e.tle.Bind(clk)
+	e.cfg.Indicator.Bind(clk)
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.Bind(clk)
+	}
+	return e
 }
 
 // Algorithm returns the engine's algorithm.
 func (e *Engine) Algorithm() Algorithm { return e.cfg.Algorithm }
 
 // Thread is the per-goroutine execution context: the HTM thread, the
-// tagged-sequence-number source, and per-path operation counters.
+// tagged-sequence-number source, the reclamation context, and per-path
+// operation counters.
 type Thread struct {
 	// H is the simulated-HTM thread context.
 	H *htm.Thread
@@ -210,6 +231,14 @@ type Thread struct {
 
 	eng *Engine
 	ops [4]uint64 // completions indexed by htm.PathKind
+
+	// rec is the thread's epoch-based-reclamation context, created by
+	// EnableReclaim; Run brackets every operation with its Begin/End so
+	// grace periods cover all node references an operation may hold.
+	rec *ebr.Thread
+	// fastRecycle records whether nodes removed by fast-path commits may
+	// be recycled immediately (the Section 9 rule); see EnableReclaim.
+	fastRecycle bool
 
 	// gateBypass exempts this thread's update operations from the
 	// monitor's quiesce gate and in-flight accounting (commit publication
@@ -227,6 +256,19 @@ type Thread struct {
 // against gate holders.
 func (th *Thread) SetGateBypass(bypass bool) { th.gateBypass = bypass }
 
+// ReclaimReader registers a read-only context in the engine's epoch
+// domain, for structure-level walks that run outside any engine thread
+// (the sharding layer's consistent KeySum reads a tree while updaters
+// run). Bracketing such a walk with the returned thread's Begin/End
+// stalls grace periods for its duration, so pooled nodes cannot be
+// reused — in particular, internal nodes' plain key/child arrays cannot
+// be rewritten — while the walk holds references. The context retires
+// nothing; the registration is permanent, so create one per tree, not
+// per read.
+func (e *Engine) ReclaimReader() *ebr.Thread {
+	return e.reclaim.NewThread(func(any) {})
+}
+
 // NewThread registers a new engine thread wrapping the given HTM thread.
 func (e *Engine) NewThread(h *htm.Thread) *Thread {
 	e.mu.Lock()
@@ -234,6 +276,55 @@ func (e *Engine) NewThread(h *htm.Thread) *Thread {
 	th := &Thread{H: h, eng: e}
 	e.threads = append(e.threads, th)
 	return th
+}
+
+// EnableReclaim creates the thread's epoch-based reclamation context in
+// the engine's epoch domain: Run then brackets every operation with the
+// ebr Begin/End (so grace periods cover all node references an operation
+// holds), and Retire becomes usable. free receives every node whose
+// reclamation completed — typically the structure's per-thread pool Put.
+//
+// nonTxReaders declares that the structure reads nodes outside both
+// transactions and the fallback path's LLX protocol — the Section 8
+// searches-outside-transactions optimization. Such readers do not abort
+// on recycled cells, so immediate fast-path recycling is unsound and
+// Retire falls back to grace periods for every node.
+func (th *Thread) EnableReclaim(free func(any), nonTxReaders bool) {
+	th.rec = th.eng.reclaim.NewThread(free)
+	// The Section 9 immediate-recycle rule holds for nodes removed by
+	// fast-path commits exactly when every thread that could still hold a
+	// reference runs transactionally: the fast path of 3-path and
+	// 2-path-ncon excludes the fallback path via the presence indicator,
+	// and TLE's elided path excludes the locked path via the lock
+	// subscription. 2-path-con's "fast" path is the instrumented body
+	// running concurrently with fallback-path readers, and non-htm and
+	// scx-htm commit removals non-transactionally, so none of them
+	// qualifies.
+	switch th.eng.cfg.Algorithm {
+	case AlgThreePath, AlgTwoPathNCon, AlgTLE:
+		th.fastRecycle = !nonTxReaders
+	default:
+		th.fastRecycle = false
+	}
+}
+
+// Retire hands a node removed by a completed operation to the thread's
+// reclamation context and reports whether it was recycled immediately.
+// p is the path the removing operation committed on; fastOK asserts
+// that every field of x mutated on reuse is a transactional cell (so a
+// stale transactional reader of a recycled x aborts rather than
+// observing recycled state — structures pass false for nodes carrying
+// reuse-mutable plain fields, which must always wait out a grace
+// period). Nodes removed by fast-path commits recycle immediately when
+// the algorithm's path exclusion allows it (see EnableReclaim);
+// everything else waits two epochs.
+func (th *Thread) Retire(p htm.PathKind, fastOK bool, x any) (immediate bool) {
+	if fastOK && th.fastRecycle && p == htm.PathFast {
+		th.rec.RetireFast(x)
+		return true
+	}
+	th.rec.Retire(x)
+	return false
 }
 
 // OpStats counts operation completions per execution path.
@@ -343,6 +434,14 @@ func (th *Thread) PrepareOp(op Op) Op {
 // commit publication).
 func (th *Thread) Run(op Op) htm.PathKind {
 	e := th.eng
+	if th.rec != nil {
+		// Bracket the whole operation as an ebr critical section: every
+		// node reference any path of the operation obtains is covered by
+		// the announced epoch until End, which is what makes grace-period
+		// retirement (and hence pooled-node reuse) sound.
+		th.rec.Begin()
+		defer th.rec.End()
+	}
 	mon := e.cfg.Monitor
 	if !op.Update {
 		mon = nil

@@ -25,11 +25,11 @@ func counterOp(c *htm.Word) Op {
 	}
 }
 
-func newEngineThread(t *testing.T, htmCfg htm.Config, engCfg Config) (*Engine, *Thread) {
+func newEngineThread(t *testing.T, htmCfg htm.Config, engCfg Config) (*Engine, *Thread, *htm.Clock) {
 	t.Helper()
 	tm := htm.New(htmCfg)
-	e := New(engCfg)
-	return e, e.NewThread(tm.NewThread())
+	e := New(engCfg, tm.Clock())
+	return e, e.NewThread(tm.NewThread()), tm.Clock()
 }
 
 func TestAlgorithmsCompleteConcurrently(t *testing.T) {
@@ -39,8 +39,9 @@ func TestAlgorithmsCompleteConcurrently(t *testing.T) {
 		t.Run(alg.String(), func(t *testing.T) {
 			t.Parallel()
 			tm := htm.New(htm.Config{})
-			e := New(Config{Algorithm: alg})
+			e := New(Config{Algorithm: alg}, tm.Clock())
 			var c htm.Word
+			c.Bind(tm.Clock())
 			const goroutines = 4
 			const perG = 2500
 			var wg sync.WaitGroup
@@ -68,8 +69,9 @@ func TestAlgorithmsCompleteConcurrently(t *testing.T) {
 
 func TestNonHTMUsesOnlyFallback(t *testing.T) {
 	t.Parallel()
-	e, th := newEngineThread(t, htm.Config{}, Config{Algorithm: AlgNonHTM})
+	e, th, clk := newEngineThread(t, htm.Config{}, Config{Algorithm: AlgNonHTM})
 	var c htm.Word
+	c.Bind(clk)
 	for i := 0; i < 10; i++ {
 		if p := th.Run(counterOp(&c)); p != htm.PathFallback {
 			t.Fatalf("completed on %v, want fallback", p)
@@ -87,8 +89,9 @@ func TestFastPathPreferred(t *testing.T) {
 		alg := alg
 		t.Run(alg.String(), func(t *testing.T) {
 			t.Parallel()
-			_, th := newEngineThread(t, htm.Config{}, Config{Algorithm: alg})
+			_, th, clk := newEngineThread(t, htm.Config{}, Config{Algorithm: alg})
 			var c htm.Word
+			c.Bind(clk)
 			if p := th.Run(counterOp(&c)); p != htm.PathFast {
 				t.Fatalf("uncontended op completed on %v, want fast", p)
 			}
@@ -104,8 +107,9 @@ func TestAllAbortsForceFallback(t *testing.T) {
 		alg := alg
 		t.Run(alg.String(), func(t *testing.T) {
 			t.Parallel()
-			_, th := newEngineThread(t, htm.Config{SpuriousEvery: 1}, Config{Algorithm: alg})
+			_, th, clk := newEngineThread(t, htm.Config{SpuriousEvery: 1}, Config{Algorithm: alg})
 			var c htm.Word
+			c.Bind(clk)
 			if p := th.Run(counterOp(&c)); p != htm.PathFallback {
 				t.Fatalf("completed on %v, want fallback", p)
 			}
@@ -119,9 +123,10 @@ func TestAllAbortsForceFallback(t *testing.T) {
 func TestThreePathMovesToMiddleWhenFallbackBusy(t *testing.T) {
 	t.Parallel()
 	tm := htm.New(htm.Config{})
-	e := New(Config{Algorithm: AlgThreePath})
+	e := New(Config{Algorithm: AlgThreePath}, tm.Clock())
 	th := e.NewThread(tm.NewThread())
 	var c htm.Word
+	c.Bind(tm.Clock())
 
 	depart := e.cfg.Indicator.Arrive() // simulate an operation on the fallback path
 	defer depart()
@@ -146,7 +151,7 @@ func TestThreePathCapacitySkipsRetries(t *testing.T) {
 	// the middle path after a single attempt, and then (still
 	// overflowing) to the fallback path after a single middle attempt.
 	tm := htm.New(htm.Config{ReadCapacity: 4})
-	e := New(Config{Algorithm: AlgThreePath})
+	e := New(Config{Algorithm: AlgThreePath}, tm.Clock())
 	th := e.NewThread(tm.NewThread())
 	cells := make([]htm.Word, 16)
 	readAll := func(tx *htm.Tx) {
@@ -178,10 +183,15 @@ func TestTLEMutualExclusion(t *testing.T) {
 	// transactions must not commit. The locked body flips a plain (non
 	// transactional, deliberately unsynchronized-looking but
 	// cell-backed) flag; fast bodies assert they never observe it set.
+	// One goroutine's fast body always aborts explicitly, so all its
+	// operations run under the lock (per-TM clocks require one engine to
+	// serve one TM, so the old per-thread spurious-abort trick is out).
 	tm := htm.New(htm.Config{})
-	e := New(Config{Algorithm: AlgTLE, AttemptLimit: 2})
+	e := New(Config{Algorithm: AlgTLE, AttemptLimit: 2}, tm.Clock())
 	var inLocked htm.Word
 	var c htm.Word
+	inLocked.Bind(tm.Clock())
+	c.Bind(tm.Clock())
 
 	var wg sync.WaitGroup
 	violated := make(chan struct{}, 1)
@@ -189,13 +199,12 @@ func TestTLEMutualExclusion(t *testing.T) {
 		wg.Add(1)
 		go func(forceLock bool) {
 			defer wg.Done()
-			var cfg htm.Config
-			if forceLock {
-				cfg.SpuriousEvery = 1 // this thread always falls back to the lock
-			}
-			th := e.NewThread(htm.New(cfg).NewThread())
+			th := e.NewThread(tm.NewThread())
 			op := Op{
 				Fast: func(tx *htm.Tx) {
+					if forceLock {
+						tx.Abort(CodeRetry) // drive this thread to the lock
+					}
 					if inLocked.Get(tx) != 0 {
 						select {
 						case violated <- struct{}{}:
@@ -216,7 +225,6 @@ func TestTLEMutualExclusion(t *testing.T) {
 		}(g == 0)
 	}
 	wg.Wait()
-	_ = tm
 	select {
 	case <-violated:
 		t.Fatal("fast-path transaction committed while the TLE lock was held")
@@ -229,7 +237,7 @@ func TestTLEMutualExclusion(t *testing.T) {
 
 func TestSCXHTMBudget(t *testing.T) {
 	t.Parallel()
-	_, th := newEngineThread(t, htm.Config{}, Config{Algorithm: AlgSCXHTM, AttemptLimit: 3})
+	_, th, _ := newEngineThread(t, htm.Config{}, Config{Algorithm: AlgSCXHTM, AttemptLimit: 3})
 	htmCalls, fallbackCalls := 0, 0
 	p := th.Run(Op{SCXHTM: func(useHTM bool) bool {
 		if useHTM {
@@ -250,8 +258,9 @@ func TestSCXHTMBudget(t *testing.T) {
 func TestSNZIIndicatorWithThreePath(t *testing.T) {
 	t.Parallel()
 	tm := htm.New(htm.Config{})
-	e := New(Config{Algorithm: AlgThreePath, Indicator: NewSNZIIndicator()})
+	e := New(Config{Algorithm: AlgThreePath, Indicator: NewSNZIIndicator()}, tm.Clock())
 	var c htm.Word
+	c.Bind(tm.Clock())
 	const goroutines = 4
 	const perG = 1500
 	var wg sync.WaitGroup

@@ -78,6 +78,16 @@ func NewUpdateMonitor(gate Indicator) *UpdateMonitor {
 	return &UpdateMonitor{gate: gate}
 }
 
+// Bind associates the monitor's cells — the transactional version
+// counter and the quiesce gate — with the version clock of the TM whose
+// update transactions publish through it. engine.New binds the monitor
+// of its Config; a monitor serves exactly one engine (one shard), so it
+// joins exactly one clock domain.
+func (m *UpdateMonitor) Bind(c *htm.Clock) {
+	m.txver.Bind(c)
+	m.gate.Bind(c)
+}
+
 // bumpTx publishes an update committing on a transactional path. Called
 // by the engine inside the update's transaction, so the bump commits
 // atomically with the operation.

@@ -19,9 +19,10 @@ func TestMonitorPublishesUpdateCommits(t *testing.T) {
 			t.Parallel()
 			mon := NewUpdateMonitor(nil)
 			tm := htm.New(htm.Config{})
-			e := New(Config{Algorithm: alg, Monitor: mon})
+			e := New(Config{Algorithm: alg, Monitor: mon}, tm.Clock())
 			th := e.NewThread(tm.NewThread())
 			var c htm.Word
+			c.Bind(tm.Clock())
 
 			s, ok := mon.Sample()
 			if !ok {
@@ -56,9 +57,10 @@ func TestMonitorQuiesceGate(t *testing.T) {
 	t.Parallel()
 	mon := NewUpdateMonitor(nil)
 	tm := htm.New(htm.Config{})
-	e := New(Config{Algorithm: AlgThreePath, Monitor: mon})
+	e := New(Config{Algorithm: AlgThreePath, Monitor: mon}, tm.Clock())
 	th := e.NewThread(tm.NewThread())
 	var c htm.Word
+	c.Bind(tm.Clock())
 
 	release := mon.Quiesce()
 	s, ok := mon.Sample()
@@ -98,10 +100,11 @@ func TestMonitorGateBypass(t *testing.T) {
 	t.Parallel()
 	mon := NewUpdateMonitor(nil)
 	tm := htm.New(htm.Config{})
-	e := New(Config{Algorithm: AlgThreePath, Monitor: mon})
+	e := New(Config{Algorithm: AlgThreePath, Monitor: mon}, tm.Clock())
 	th := e.NewThread(tm.NewThread())
 	th.SetGateBypass(true)
 	var c htm.Word
+	c.Bind(tm.Clock())
 
 	release := mon.Quiesce()
 	defer release()
@@ -134,6 +137,7 @@ func TestMonitorGateBypass(t *testing.T) {
 func TestMonitorQuiesceDrainsAllPaths(t *testing.T) {
 	t.Parallel()
 	mon := NewUpdateMonitor(nil)
+	mon.Bind(htm.NewClock())
 	mon.EnableFullDrain()
 	mon.enter() // simulate an update admitted but not yet complete
 
@@ -162,6 +166,7 @@ func TestMonitorQuiesceDrainsAllPaths(t *testing.T) {
 func TestMonitorBracket(t *testing.T) {
 	t.Parallel()
 	mon := NewUpdateMonitor(nil)
+	mon.Bind(htm.NewClock())
 	s, ok := mon.Sample()
 	if !ok {
 		t.Fatal("idle monitor reported an in-flight update")

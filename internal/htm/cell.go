@@ -5,18 +5,6 @@ import (
 	"sync/atomic"
 )
 
-// clock is the global version clock. Every write to shared memory —
-// transactional commit or non-transactional store/CAS — advances it, and
-// transactions validate their read sets against it. A single process-wide
-// monotonic counter (rather than one per TM) keeps cells free-standing
-// and zero-value-ready; sharing it across TM instances is harmless
-// because only monotonicity matters.
-var clock atomic.Uint64
-
-// ClockValue returns the current value of the global version clock.
-// It is exported for tests and diagnostics.
-func ClockValue() uint64 { return clock.Load() }
-
 // Version-word encoding: version<<1 | lockBit.
 const lockBit = 1
 
@@ -29,25 +17,58 @@ type cell interface {
 	applyAdd(delta uint64)
 }
 
-// acquireNonTx locks a version word for a non-transactional operation,
-// spinning (these critical sections are a handful of instructions long)
-// and returning the pre-lock version word.
+// Non-transactional lock acquisition backoff bounds: an acquirer that
+// loses the CAS spins reading the version word for a bounded,
+// exponentially growing number of iterations before retrying, and yields
+// the processor once the bound is saturated. Under contention this keeps
+// most acquirers off the cache line (the raw CAS spin it replaces turned
+// every waiter into a line-invalidation source — a contention amplifier
+// on exactly the multi-writer workloads per-TM clocks exist for).
+const (
+	backoffInitial = 4
+	backoffMax     = 1024
+)
+
+// acquireNonTx locks a version word for a non-transactional operation
+// (these critical sections are a handful of instructions long) and
+// returns the pre-lock version word. Waiting uses bounded exponential
+// backoff rather than a raw CAS spin.
 func acquireNonTx(ver *atomic.Uint64) uint64 {
-	for i := 0; ; i++ {
-		v := ver.Load()
-		if v&lockBit == 0 && ver.CompareAndSwap(v, v|lockBit) {
+	v := ver.Load()
+	if v&lockBit == 0 && ver.CompareAndSwap(v, v|lockBit) {
+		return v // uncontended fast path: one load, one CAS
+	}
+	backoff := backoffInitial
+	for {
+		// Wait until the word reads unlocked before touching it with a
+		// CAS again, pausing exponentially longer each round.
+		for i := 0; ; i++ {
+			v = ver.Load()
+			if v&lockBit == 0 {
+				break
+			}
+			if i >= backoff {
+				runtime.Gosched()
+				i = 0
+			}
+		}
+		if ver.CompareAndSwap(v, v|lockBit) {
 			return v
 		}
-		if i%128 == 127 {
+		if backoff < backoffMax {
+			backoff <<= 1
+		} else {
 			runtime.Gosched()
 		}
 	}
 }
 
 // Word is a shared uint64 cell. The zero value is an unlocked cell
-// holding 0. All access, transactional (tx != nil) and non-transactional
-// (tx == nil), must go through its methods.
+// holding 0 bound to no clock: it supports transactional access and
+// non-transactional reads immediately, but must be bound to the owning
+// TM's clock (Bind) before any non-transactional mutation.
 type Word struct {
+	clk *Clock
 	ver atomic.Uint64
 	val atomic.Uint64
 }
@@ -61,11 +82,56 @@ func (w *Word) applyPtr(any)            { panic("htm: applyPtr on Word") }
 // transaction, so the read-modify-write is race-free.
 func (w *Word) applyAdd(delta uint64) { w.val.Store(w.val.Load() + delta) }
 
+// Bind associates the cell with the version clock of the TM whose
+// transactions access it. Non-transactional mutations advance this clock
+// (keeping the TM's transactions strongly atomic with respect to them),
+// so they panic on an unbound cell. Bind before the cell is shared.
+// Rebinding to the same clock is a no-op; rebinding to a different
+// clock panics — a cell serving two clock domains would silently break
+// strong atomicity in one of them (e.g. one Indicator shared between
+// two engines), so it must fail loudly instead.
+func (w *Word) Bind(c *Clock) {
+	if w.clk != nil && w.clk != c {
+		panic("htm: cell already bound to a different TM clock (one cell cannot serve two clock domains)")
+	}
+	w.clk = c
+}
+
+// clock returns the bound clock, diagnosing a miswired cell loudly
+// rather than failing with a nil dereference.
+func (w *Word) clock() *Clock {
+	if w.clk == nil {
+		panic("htm: non-transactional mutation of a cell not bound to a TM clock (call Bind first)")
+	}
+	return w.clk
+}
+
 // Init sets the cell's value without version bookkeeping. It must only
 // be used on cells that are not yet reachable by other threads (e.g.
 // fields of a freshly allocated node before it is published); the cell
 // keeps version 0, so transactions at any snapshot may read it.
 func (w *Word) Init(v uint64) { w.val.Store(v) }
+
+// Recycle re-initializes a cell of a pooled node for reuse. Unlike Init
+// it is safe while stale transactional readers may still hold a
+// reference to the node: it locks the version word (waiting out a zombie
+// commit that transiently locked it), writes the value under the lock,
+// and unlocks with the version advanced to the clock's current value —
+// which is at least the removing operation's commit version, so any
+// transaction whose snapshot predates the node's removal observes a
+// version beyond its snapshot and aborts instead of reading the recycled
+// value.
+//
+// Recycle must only be called while the node is privately owned (drawn
+// from a pool, not yet republished); non-transactional readers must be
+// excluded by the caller's reclamation discipline (ebr: RetireFast only
+// when every possible reader is transactional).
+func (w *Word) Recycle(v uint64) {
+	c := w.clock()
+	acquireNonTx(&w.ver)
+	w.val.Store(v)
+	w.ver.Store(c.Now() << 1)
+}
 
 // Get reads the cell. With a nil tx it performs a non-transactional
 // atomic read; otherwise the read joins tx's read set and may abort tx.
@@ -96,13 +162,48 @@ func (w *Word) Get(tx *Tx) uint64 {
 	return val
 }
 
+// Peek reads the cell's value with a single atomic load — no version
+// check, no snapshot validation, no read-set entry. It is only sound
+// for cells that are immutable for as long as any thread can hold the
+// enclosing node: write-once cells, and cells of pooled nodes that are
+// reused exclusively after a grace period (so no reader — stale or
+// otherwise — can ever observe the rewrite). Cells of nodes that may
+// recycle immediately (ebr.RetireFast) must use GetStable instead.
+func (w *Word) Peek() uint64 { return w.val.Load() }
+
+// GetStable reads a cell whose value is immutable while its enclosing
+// node is reachable — only pool recycling ever rewrites it (e.g. a
+// pooled node's routing key). The read is validated against the
+// transaction's snapshot exactly like Get (a recycled cell's advanced
+// version aborts a stale reader), but it does not join the read set:
+// the only event that can change the cell is a recycle, a recycle
+// implies the node was first unlinked, and the unlink already
+// invalidates the read-set entry of the pointer that led here. Skipping
+// the read-set entry keeps hot search loops at one logged read per
+// node instead of two.
+//
+// The caller asserts the cell is never written transactionally (it is
+// not looked up in the write set).
+func (w *Word) GetStable(tx *Tx) uint64 {
+	if tx == nil {
+		return w.Get(nil)
+	}
+	v := tx.readVersion(&w.ver)
+	val := w.val.Load()
+	if w.ver.Load() != v {
+		tx.abort(CauseConflict)
+	}
+	return val
+}
+
 // Set writes the cell. With a nil tx the store is immediate (locking the
-// cell and bumping the global clock); otherwise it is buffered until tx
-// commits.
+// cell and advancing the bound TM clock); otherwise it is buffered until
+// tx commits.
 func (w *Word) Set(tx *Tx, v uint64) {
 	if tx == nil {
+		c := w.clock() // resolve before locking: a miswired cell must not panic while holding the lock
 		acquireNonTx(&w.ver)
-		nv := clock.Add(1)
+		nv := c.tick()
 		w.val.Store(v)
 		w.ver.Store(nv << 1)
 		return
@@ -121,12 +222,13 @@ func (w *Word) CAS(tx *Tx, old, new uint64) bool {
 		w.Set(tx, new)
 		return true
 	}
+	c := w.clock()
 	prev := acquireNonTx(&w.ver)
 	if w.val.Load() != old {
 		w.ver.Store(prev) // release without a version bump: nothing changed
 		return false
 	}
-	nv := clock.Add(1)
+	nv := c.tick()
 	w.val.Store(new)
 	w.ver.Store(nv << 1)
 	return true
@@ -157,8 +259,9 @@ func (w *Word) AddAtCommit(tx *Tx, delta uint64) {
 // Add atomically adds delta (which may be negative via two's complement)
 // to the cell outside any transaction and returns the new value.
 func (w *Word) Add(delta uint64) uint64 {
+	c := w.clock()
 	acquireNonTx(&w.ver)
-	nv := clock.Add(1)
+	nv := c.tick()
 	v := w.val.Load() + delta
 	w.val.Store(v)
 	w.ver.Store(nv << 1)
@@ -166,8 +269,10 @@ func (w *Word) Add(delta uint64) uint64 {
 }
 
 // Ref is a shared pointer cell holding a *T. The zero value is an
-// unlocked cell holding nil.
+// unlocked cell holding nil; like Word, it must be bound to the owning
+// TM's clock before any non-transactional mutation.
 type Ref[T any] struct {
+	clk *Clock
 	ver atomic.Uint64
 	val atomic.Pointer[T]
 }
@@ -183,8 +288,33 @@ func (r *Ref[T]) applyPtr(p any) {
 	r.val.Store(p.(*T))
 }
 
+// Bind associates the cell with the version clock of the TM whose
+// transactions access it. See Word.Bind; rebinding to a different clock
+// panics.
+func (r *Ref[T]) Bind(c *Clock) {
+	if r.clk != nil && r.clk != c {
+		panic("htm: cell already bound to a different TM clock (one cell cannot serve two clock domains)")
+	}
+	r.clk = c
+}
+
+func (r *Ref[T]) clock() *Clock {
+	if r.clk == nil {
+		panic("htm: non-transactional mutation of a cell not bound to a TM clock (call Bind first)")
+	}
+	return r.clk
+}
+
 // Init sets the cell's value without version bookkeeping. See Word.Init.
 func (r *Ref[T]) Init(p *T) { r.val.Store(p) }
+
+// Recycle re-initializes a pooled cell for reuse; see Word.Recycle.
+func (r *Ref[T]) Recycle(p *T) {
+	c := r.clock()
+	acquireNonTx(&r.ver)
+	r.val.Store(p)
+	r.ver.Store(c.Now() << 1)
+}
 
 // Get reads the cell. With a nil tx it performs a non-transactional
 // atomic read; otherwise the read joins tx's read set and may abort tx.
@@ -222,8 +352,9 @@ func (r *Ref[T]) Get(tx *Tx) *T {
 // is buffered until tx commits.
 func (r *Ref[T]) Set(tx *Tx, p *T) {
 	if tx == nil {
+		c := r.clock()
 		acquireNonTx(&r.ver)
-		nv := clock.Add(1)
+		nv := c.tick()
 		r.val.Store(p)
 		r.ver.Store(nv << 1)
 		return
@@ -245,12 +376,13 @@ func (r *Ref[T]) CAS(tx *Tx, old, new *T) bool {
 		r.Set(tx, new)
 		return true
 	}
+	c := r.clock()
 	prev := acquireNonTx(&r.ver)
 	if r.val.Load() != old {
 		r.ver.Store(prev)
 		return false
 	}
-	nv := clock.Add(1)
+	nv := c.tick()
 	r.val.Store(new)
 	r.ver.Store(nv << 1)
 	return true

@@ -1,0 +1,32 @@
+package htm
+
+import "sync/atomic"
+
+// Clock is a version clock owned by a TM instance. Transactions snapshot
+// it at begin and advance it at commit; non-transactional cell mutations
+// advance it through the cell's binding (see Word.Bind). Each TM carries
+// its own clock, so trees built on separate TM instances — in particular
+// the shards of a sharded dictionary — never contend on a shared
+// version-clock cache line. Only cells bound to the same clock form one
+// synchronization domain: transactions of a TM must only access cells
+// bound to that TM's clock.
+//
+// The counter is padded to a cache line on both sides so that clocks
+// embedded next to other hot state (and next to each other in slices)
+// never false-share.
+type Clock struct {
+	_ [64]byte
+	v atomic.Uint64
+	_ [64 - 8]byte
+}
+
+// NewClock returns a free-standing clock for cells used outside any TM
+// (software-only tests and structures). Cells that transactions of a TM
+// access must instead be bound to that TM's clock (TM.Clock).
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the clock's current value.
+func (c *Clock) Now() uint64 { return c.v.Load() }
+
+// tick advances the clock and returns the new value.
+func (c *Clock) tick() uint64 { return c.v.Add(1) }

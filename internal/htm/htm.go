@@ -12,7 +12,12 @@
 //     uint64). Every access, transactional or not, goes through the cell
 //     API. Each cell pairs its value with a version word encoded as
 //     version<<1|lock.
-//   - A transaction snapshots the global version clock at begin (rv),
+//   - Every TM instance owns its version clock (cache-line padded), so
+//     independent TMs — e.g. the shards of a sharded dictionary — never
+//     contend on a shared clock cache line. Cells bound to the same
+//     clock (Word.Bind / Ref.Bind) form one synchronization domain; a
+//     TM's transactions must only touch cells bound to its clock.
+//   - A transaction snapshots its TM's version clock at begin (rv),
 //     buffers writes, and validates on every read that the cell version
 //     is unlocked and at most rv, which yields opacity (no zombie
 //     transactions).
@@ -21,10 +26,10 @@
 //     the clock, validates the read set (skipped when no other write
 //     happened since begin), applies the write set, and unlocks.
 //   - Non-transactional stores and CAS operations lock the cell, bump the
-//     global clock and the cell version, and unlock. Because they advance
-//     the same clock and versions the transactions validate against,
-//     transactions are strongly atomic with respect to them — the
-//     property the paper's fallback-path interaction relies on.
+//     cell's bound clock and the cell version, and unlock. Because they
+//     advance the same clock and versions the transactions validate
+//     against, transactions are strongly atomic with respect to them —
+//     the property the paper's fallback-path interaction relies on.
 //
 // Capacity aborts are modelled by configurable read/write set limits and
 // spurious aborts by a seeded per-access probability, so the execution
@@ -104,12 +109,15 @@ func POWER8Config() Config {
 	}
 }
 
-// TM is an instance of the simulated transactional memory. It carries the
-// configuration and the registry of threads whose statistics it
-// aggregates. Cells are free-standing (their zero value is ready to use);
-// a TM is only needed to create threads.
+// TM is an instance of the simulated transactional memory. It carries
+// the configuration, its own version clock, and the registry of threads
+// whose statistics it aggregates. Cells start free-standing (their zero
+// value supports transactional access), but cells a TM's transactions
+// touch must be bound to that TM's clock before any non-transactional
+// mutation.
 type TM struct {
-	cfg Config
+	cfg   Config
+	clock Clock
 
 	mu      sync.Mutex
 	threads []*Thread
@@ -123,6 +131,14 @@ func New(cfg Config) *TM {
 
 // Config returns the (defaulted) configuration of the TM.
 func (tm *TM) Config() Config { return tm.cfg }
+
+// Clock returns the TM's version clock, for binding cells (Word.Bind,
+// Ref.Bind) into the TM's synchronization domain.
+func (tm *TM) Clock() *Clock { return &tm.clock }
+
+// ClockValue returns the current value of the TM's version clock
+// (exported for tests and diagnostics).
+func (tm *TM) ClockValue() uint64 { return tm.clock.Now() }
 
 // NewThread registers and returns a new thread context. Each Thread must
 // be used by a single goroutine at a time.

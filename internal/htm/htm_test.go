@@ -9,6 +9,7 @@ import (
 func TestWordNonTxBasics(t *testing.T) {
 	t.Parallel()
 	var w Word
+	w.Bind(NewClock())
 	if got := w.Get(nil); got != 0 {
 		t.Fatalf("zero value = %d, want 0", got)
 	}
@@ -34,6 +35,7 @@ func TestRefNonTxBasics(t *testing.T) {
 	t.Parallel()
 	type node struct{ k int }
 	var r Ref[node]
+	r.Bind(NewClock())
 	if got := r.Get(nil); got != nil {
 		t.Fatalf("zero value = %v, want nil", got)
 	}
@@ -79,6 +81,7 @@ func TestTxExplicitAbortHasNoEffect(t *testing.T) {
 	tm := New(Config{})
 	th := tm.NewThread()
 	var x Word
+	x.Bind(tm.Clock())
 	x.Set(nil, 10)
 	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
 		x.Set(tx, 99)
@@ -100,6 +103,7 @@ func TestTxConflictWithNonTxWrite(t *testing.T) {
 	tm := New(Config{})
 	th := tm.NewThread()
 	var x, y Word
+	x.Bind(tm.Clock())
 	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
 		_ = x.Get(tx)
 		// A non-transactional write from "another thread" (simulated
@@ -123,6 +127,7 @@ func TestTxOpacitySnapshotRead(t *testing.T) {
 	tm := New(Config{})
 	th := tm.NewThread()
 	var x Word
+	x.Bind(tm.Clock())
 	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
 		x.Set(nil, 1) // bump the cell version past rv
 		_ = x.Get(tx) // must abort: written after begin
@@ -349,6 +354,9 @@ func TestQuickSequentialModel(t *testing.T) {
 	f := func(ops []uint16) bool {
 		const n = 8
 		var cells [n]Word
+		for i := range cells {
+			cells[i].Bind(tm.Clock())
+		}
 		var model [n]uint64
 		for _, op := range ops {
 			idx := int(op) % n
@@ -417,6 +425,7 @@ func TestAddAtCommit(t *testing.T) {
 	tm := New(Config{})
 	th := tm.NewThread()
 	var ver, data Word
+	ver.Bind(tm.Clock())
 
 	// A committed transaction applies the increment against the value at
 	// commit time; an aborted one leaves the cell untouched.

@@ -171,7 +171,7 @@ type Tx struct {
 func (tx *Tx) Path() PathKind { return tx.path }
 
 func (tx *Tx) reset(path PathKind) {
-	tx.rv = clock.Load()
+	tx.rv = tx.th.tm.clock.Now()
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.path = path
@@ -317,7 +317,7 @@ func (tx *Tx) commit() AbortCause {
 		}
 		w.prevVer = v
 	}
-	wv := clock.Add(1)
+	wv := tx.th.tm.clock.tick()
 	if wv != tx.rv+1 {
 		// Some other write (transactional or not) happened since begin:
 		// the read set must be validated.

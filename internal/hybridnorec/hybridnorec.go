@@ -40,7 +40,11 @@ func New(cfg htm.Config, attempts int) *TM {
 	if attempts <= 0 {
 		attempts = DefaultAttempts
 	}
-	return &TM{inner: htm.New(cfg), attempts: attempts}
+	tm := &TM{inner: htm.New(cfg), attempts: attempts}
+	// The NOrec sequence lock is mutated non-transactionally by software
+	// commits and subscribed by hardware transactions: same clock domain.
+	tm.gclk.Bind(tm.inner.Clock())
+	return tm
 }
 
 // HTMStats exposes the underlying hardware-transaction statistics.

@@ -13,6 +13,7 @@ func TestAtomicCounterHW(t *testing.T) {
 	tm := New(htm.Config{}, 0)
 	th := tm.NewThread()
 	var c htm.Word
+	c.Bind(tm.inner.Clock())
 	for i := 0; i < 100; i++ {
 		hw := th.Atomic(func(tx *Tx) { tx.Write(&c, tx.Read(&c)+1) })
 		if !hw {
@@ -31,6 +32,7 @@ func TestSoftwarePathCommits(t *testing.T) {
 	tm := New(htm.Config{SpuriousEvery: 1}, 3)
 	th := tm.NewThread()
 	var c htm.Word
+	c.Bind(tm.inner.Clock())
 	for i := 0; i < 50; i++ {
 		if hw := th.Atomic(func(tx *Tx) { tx.Write(&c, tx.Read(&c)+1) }); hw {
 			t.Fatal("hardware path committed despite forced aborts")
@@ -45,6 +47,7 @@ func TestConcurrentCounterMixedPaths(t *testing.T) {
 	t.Parallel()
 	tm := New(htm.Config{SpuriousEvery: 20}, 4) // frequent software fallback
 	var c htm.Word
+	c.Bind(tm.inner.Clock())
 	const goroutines = 6
 	const perG = 1500
 	var wg sync.WaitGroup

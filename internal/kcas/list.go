@@ -63,9 +63,11 @@ func NewList(cfg ListConfig) *List {
 	ecfg.Algorithm = cfg.Algorithm
 	head := &listNode{}
 	head.st.Init(&listState{})
+	tm := htm.New(cfg.HTM)
+	head.st.Bind(tm.Clock())
 	return &List{
-		tm:   htm.New(cfg.HTM),
-		eng:  engine.New(ecfg),
+		tm:   tm,
+		eng:  engine.New(ecfg, tm.Clock()),
 		head: head,
 	}
 }
@@ -202,6 +204,7 @@ func (l *List) insertTx(tx *htm.Tx, h *ListHandle, checkDesc bool) {
 	}
 	n := &listNode{key: key}
 	n.st.Init(&listState{val: val, next: curr})
+	n.st.Bind(l.tm.Clock())
 	pred.st.WriteTx(tx, checkDesc, ps, &listState{val: ps.val, next: n, marked: false})
 }
 
@@ -245,6 +248,7 @@ func (l *List) insertKCAS(h *ListHandle) bool {
 	}
 	n := &listNode{key: key}
 	n.st.Init(&listState{val: val, next: curr})
+	n.st.Bind(l.tm.Clock())
 	return Apply(
 		[]*Cell[listState]{&pred.st},
 		[]*listState{ps},
@@ -286,6 +290,7 @@ func (l *List) insertLocked(h *ListHandle) {
 	h.resVal, h.resFound = 0, false
 	n := &listNode{key: key}
 	n.st.Init(&listState{val: val, next: curr})
+	n.st.Bind(l.tm.Clock())
 	pred.st.e.Set(nil, &entry[listState]{v: &listState{val: ps.val, next: n}})
 }
 

@@ -87,11 +87,37 @@ func stateOf(info *Info) int32 {
 }
 
 // Hdr carries the synchronization fields of a Data-record. Embed it in
-// any node type. The zero value is ready to use (an unfrozen, unmarked
-// record).
+// any node type. The zero value is an unfrozen, unmarked record; like
+// every htm cell, it must be bound to the owning TM's clock (Bind)
+// before fallback-path SCXs mutate it non-transactionally.
 type Hdr struct {
 	info   htm.Ref[Info]
 	marked htm.Word
+}
+
+// Bind associates the header's cells with the version clock of the TM
+// whose transactions access the record. Call once before the record is
+// published (node pools bind when a node is first created).
+func (h *Hdr) Bind(c *htm.Clock) {
+	h.info.Bind(c)
+	h.marked.Bind(c)
+}
+
+// Recycle resets a pooled record's header for reuse — unfrozen and
+// unmarked — advancing the cells' versions so stale transactional
+// readers abort rather than observe the recycled record (see
+// htm.Word.Recycle for the full contract).
+func (h *Hdr) Recycle() {
+	h.info.Recycle(nil)
+	h.marked.Recycle(0)
+}
+
+// Reset resets a pooled record's header with plain stores. Only sound
+// when no thread can still hold the record — i.e. it was reclaimed
+// through a grace period, not recycled immediately.
+func (h *Hdr) Reset() {
+	h.info.Init(nil)
+	h.marked.Init(0)
 }
 
 // Marked reports whether the record has been marked for finalization.

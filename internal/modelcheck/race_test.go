@@ -34,7 +34,11 @@ func TestRacePathTransitions(t *testing.T) {
 					Algorithm: alg,
 					// One attempt per HTM path: any abort demotes the
 					// operation, so spurious aborts continually push
-					// traffic down to the next path.
+					// traffic down to the next path. (The pooled BST's
+					// routing-key reads are Peek/GetStable, which neither
+					// join the read set nor roll the spurious dice, so the
+					// abort pressure per operation is unchanged from the
+					// pre-pooling tree.)
 					AttemptLimit:       1,
 					FastLimit:          1,
 					MiddleLimit:        1,

@@ -1,0 +1,158 @@
+// Package nodepool implements the per-handle node-pooling discipline
+// shared by the template data structures (paper Section 9): steady-state
+// inserts draw nodes from per-thread free lists, and deletions feed the
+// lists back through the engine's epoch-based reclamation.
+//
+// One Pool serves one handle (one goroutine); nothing here is locked.
+// The pools are segregated by node kind — leaves and internal nodes —
+// because the two kinds follow different recycling disciplines that the
+// structures encode identically:
+//
+//   - Leaves may recycle immediately after fast-path removals
+//     (engine.Thread.Retire with fastOK): every reuse-mutable leaf field
+//     is a transactional cell re-initialized with version-advancing
+//     Recycle stores, so a stale transactional reader aborts rather
+//     than observe the recycled leaf.
+//   - Internal nodes always wait out a grace period: their routing keys
+//     are read with plain loads on the descent hot path (htm.Word.Peek
+//     or plain arrays), which is only sound if no reader can ever
+//     observe a reuse.
+//
+// Attempt lifecycle: a body draws nodes with Take (recording them in
+// the attempt's allocation list) and marks the nodes it unlinks with
+// Remove. Each attempt starts with BeginAttempt — nodes drawn by a
+// failed previous attempt were never published, so they return straight
+// to the pools — and a completed operation calls Settle: the committed
+// attempt's nodes are published (forgotten) and its removals retire
+// under the rules above.
+package nodepool
+
+import "htmtree/internal/htm"
+
+// Stats counts a pool's activity. Exported by the structures as their
+// handle ReclaimStats.
+type Stats struct {
+	// Fresh counts heap allocations; Reused counts pool hits.
+	Fresh, Reused uint64
+	// RetiredFast counts removals recycled immediately under the
+	// Section 9 fast-path rule; RetiredGrace counts removals deferred a
+	// grace period.
+	RetiredFast, RetiredGrace uint64
+	// Freed counts nodes that reached the pools (immediately or after
+	// their grace period expired).
+	Freed uint64
+}
+
+// Retirer hands removed nodes to epoch-based reclamation; implemented
+// by engine.Thread.
+type Retirer interface {
+	// Retire schedules x for reuse once safe, returning whether it was
+	// recycled immediately. fastOK asserts every reuse-mutable field of
+	// x is a transactional cell.
+	Retire(p htm.PathKind, fastOK bool, x any) (immediate bool)
+}
+
+// Pool is the per-handle pooling state for node type N.
+type Pool[N any] struct {
+	leaf, inner    []*N
+	alloc, removed []*N
+	stats          Stats
+
+	isLeaf func(*N) bool
+	fresh  func(leaf bool) *N
+	ret    Retirer
+}
+
+// New creates a pool. isLeaf routes nodes between the two free lists
+// (and decides Settle's fastOK: only leaves may recycle immediately);
+// fresh heap-allocates a node of the given kind with its cells bound to
+// the owning TM's clock; ret is the handle's engine thread.
+func New[N any](isLeaf func(*N) bool, fresh func(leaf bool) *N, ret Retirer) *Pool[N] {
+	return &Pool[N]{isLeaf: isLeaf, fresh: fresh, ret: ret}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool[N]) Stats() Stats { return p.stats }
+
+// Size returns the number of nodes currently in the free lists
+// (white-box tests).
+func (p *Pool[N]) Size() int { return len(p.leaf) + len(p.inner) }
+
+// putBack returns a node to the matching free list.
+func (p *Pool[N]) putBack(n *N) {
+	if p.isLeaf(n) {
+		p.leaf = append(p.leaf, n)
+	} else {
+		p.inner = append(p.inner, n)
+	}
+}
+
+// Release receives a node whose reclamation completed and pools it; it
+// is the handle's ebr free callback (engine.Thread.EnableReclaim).
+func (p *Pool[N]) Release(x any) {
+	p.putBack(x.(*N))
+	p.stats.Freed++
+}
+
+// Take draws a node of the given kind from its pool, falling back to
+// the heap, and records it in the attempt's allocation list. recycled
+// reports a pool hit: the caller must re-initialize a recycled node's
+// cells (with Recycle stores for leaves, which stale readers may still
+// hold; plain stores suffice for grace-only internal nodes).
+func (p *Pool[N]) Take(leaf bool) (n *N, recycled bool) {
+	pool := &p.inner
+	if leaf {
+		pool = &p.leaf
+	}
+	if k := len(*pool); k > 0 {
+		n = (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
+		p.stats.Reused++
+		recycled = true
+	} else {
+		n = p.fresh(leaf)
+		p.stats.Fresh++
+	}
+	p.alloc = append(p.alloc, n)
+	return n, recycled
+}
+
+// BeginAttempt resets the per-attempt state: nodes drawn by a previous
+// attempt of this operation were never published (the attempt aborted
+// or its SCX failed), so they return to the pools, and the previous
+// attempt's removal list is discarded.
+func (p *Pool[N]) BeginAttempt() {
+	for i, n := range p.alloc {
+		p.putBack(n)
+		p.alloc[i] = nil
+	}
+	p.alloc = p.alloc[:0]
+	p.removed = p.removed[:0]
+}
+
+// Remove records that the current attempt unlinks n; if the attempt
+// commits, Settle retires n.
+func (p *Pool[N]) Remove(n *N) {
+	p.removed = append(p.removed, n)
+}
+
+// Settle finishes a completed operation: the committed attempt's drawn
+// nodes are published (forgotten) and its removed nodes retire — leaves
+// immediately when the completing path permits, internal nodes always
+// after a grace period.
+func (p *Pool[N]) Settle(path htm.PathKind) {
+	for i := range p.alloc {
+		p.alloc[i] = nil
+	}
+	p.alloc = p.alloc[:0]
+	for i, n := range p.removed {
+		if p.ret.Retire(path, p.isLeaf(n), n) {
+			p.stats.RetiredFast++
+		} else {
+			p.stats.RetiredGrace++
+		}
+		p.removed[i] = nil
+	}
+	p.removed = p.removed[:0]
+}

@@ -30,13 +30,27 @@ type SNZI struct {
 	next   atomic.Uint64 // round-robin leaf assignment
 }
 
-// New creates an SNZI with the default fan-out.
+// New creates an SNZI with the default fan-out. Before any Arrive or
+// Depart, the SNZI must be bound (Bind) to the version clock of the TM
+// whose transactions subscribe to it.
 func New() *SNZI {
 	s := &SNZI{leaves: make([]leaf, defaultLeaves)}
 	for i := range s.leaves {
 		s.leaves[i].parent = &s.root
 	}
 	return s
+}
+
+// Bind associates every SNZI cell with the version clock of the TM whose
+// transactions read the indicator: arrivals and departures mutate the
+// cells non-transactionally and must advance that TM's clock to stay
+// strongly atomic with respect to its transactions.
+func (s *SNZI) Bind(c *htm.Clock) {
+	s.root.x.Bind(c)
+	s.root.i.Bind(c)
+	for i := range s.leaves {
+		s.leaves[i].x.Bind(c)
+	}
 }
 
 // Ticket identifies an arrival so the matching departure hits the same

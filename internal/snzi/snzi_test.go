@@ -10,6 +10,7 @@ import (
 func TestBasicTransitions(t *testing.T) {
 	t.Parallel()
 	s := New()
+	s.Bind(htm.NewClock())
 	if s.Nonzero(nil) {
 		t.Fatal("fresh SNZI reports nonzero")
 	}
@@ -31,6 +32,7 @@ func TestBasicTransitions(t *testing.T) {
 func TestPhasedConcurrency(t *testing.T) {
 	t.Parallel()
 	s := New()
+	s.Bind(htm.NewClock())
 	const n = 16
 	tickets := make([]Ticket, n)
 	var wg sync.WaitGroup
@@ -55,6 +57,7 @@ func TestPhasedConcurrency(t *testing.T) {
 func TestRandomStressEndsZero(t *testing.T) {
 	t.Parallel()
 	s := New()
+	s.Bind(htm.NewClock())
 	const goroutines = 8
 	const pairs = 5000
 	var wg sync.WaitGroup
@@ -92,6 +95,7 @@ func TestIndicatorStableWhileNonzero(t *testing.T) {
 	tm := htm.New(htm.Config{})
 	th := tm.NewThread()
 	s := New()
+	s.Bind(tm.Clock())
 
 	base := s.Arrive() // keep the count above zero throughout
 
