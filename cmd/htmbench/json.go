@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"htmtree/internal/engine"
+	"htmtree/internal/htm"
 	"htmtree/internal/workload"
 )
 
@@ -32,6 +33,51 @@ type jsonRow struct {
 	// Paths counts operation completions per execution path during the
 	// throughput trial.
 	Paths map[string]uint64 `json:"paths"`
+	// Aborts counts failed transactional attempts during the throughput
+	// trial, keyed "path/cause" (e.g. "fast/conflict"); zero buckets are
+	// omitted, so an absent map means an abort-free run.
+	Aborts map[string]uint64 `json:"aborts,omitempty"`
+	// Policy counts the retry policy's actions during the throughput
+	// trial: backoffs, free_retries, capacity_skips, demotions. Zero
+	// counters are omitted.
+	Policy map[string]uint64 `json:"policy,omitempty"`
+}
+
+// abortMap flattens the nonzero per-path-per-cause abort counters into
+// the "path/cause"-keyed form of jsonRow.Aborts. Returns nil when no
+// attempt aborted.
+func abortMap(a engine.AbortCounts) map[string]uint64 {
+	var m map[string]uint64
+	for p := 1; p < htm.NumPaths; p++ {
+		for c := 1; c < htm.NumCauses; c++ {
+			if n := a.On(htm.PathKind(p), htm.AbortCause(c)); n > 0 {
+				if m == nil {
+					m = make(map[string]uint64)
+				}
+				m[htm.PathKind(p).String()+"/"+htm.AbortCause(c).String()] = n
+			}
+		}
+	}
+	return m
+}
+
+// policyMap flattens the nonzero retry-policy action counters. Returns
+// nil when the policy never intervened (e.g. StaticPolicy).
+func policyMap(ps engine.PolicyStats) map[string]uint64 {
+	var m map[string]uint64
+	put := func(k string, v uint64) {
+		if v > 0 {
+			if m == nil {
+				m = make(map[string]uint64)
+			}
+			m[k] = v
+		}
+	}
+	put("backoffs", ps.Backoffs)
+	put("free_retries", ps.FreeRetries)
+	put("capacity_skips", ps.CapacitySkips)
+	put("demotions", ps.Demotions)
+	return m
 }
 
 // jsonExperiments runs the machine-readable benchmark suite: for each
@@ -58,6 +104,8 @@ func jsonExperiments(o options) error {
 					Shards:    sh,
 					KeySpan:   ds.keyRange,
 					Router:    o.router,
+					HTM:       o.htmCfg(htm.Config{}),
+					Policy:    o.policy,
 				}
 				med, res := trial(o, spec.New, workload.Config{
 					Threads:   n,
@@ -75,6 +123,8 @@ func jsonExperiments(o options) error {
 						"middle":   res.PathStats.Middle,
 						"fallback": res.PathStats.Fallback,
 					},
+					Aborts: abortMap(res.PathStats.Aborts),
+					Policy: policyMap(res.PathStats.Policy),
 				}
 				if med > 0 {
 					row.NsOp = float64(n) * 1e9 / med

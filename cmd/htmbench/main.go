@@ -26,6 +26,11 @@
 //	                      batch size grows, with the amortized router-
 //	                      lookup and monitor-bracket counts (beyond the
 //	                      paper: the async batching subsystem)
+//	-experiment abortpolicy static vs adaptive retry policy under the
+//	                      default, POWER8 capacity-heavy and spurious-
+//	                      heavy abort profiles, with per-cause abort and
+//	                      policy-action counters (beyond the paper: the
+//	                      abort-taxonomy-driven path policy)
 //	-experiment all       everything above
 //
 // -format json replaces the CSV tables with the machine-readable
@@ -39,7 +44,10 @@
 // configuration); -router selects the shard routing policy, -zipf
 // switches the update key distribution to Zipfian with the given theta,
 // and -batch runs the update threads through the asynchronous batched
-// path with N-op batches.
+// path with N-op batches. -policy selects the engine retry policy
+// (adaptive|static) for every experiment, and -spurious injects a
+// simulated spurious abort every N transactional accesses into
+// experiments that do not pin their own HTM profile.
 package main
 
 import (
@@ -81,6 +89,17 @@ type options struct {
 	zipf       float64
 	batch      int
 	format     string
+	spurious   uint64
+	policy     string
+}
+
+// htmCfg merges the -spurious flag into an experiment's HTM config
+// (experiments that pin their own spurious rate keep it).
+func (o options) htmCfg(hc htm.Config) htm.Config {
+	if hc.SpuriousEvery == 0 {
+		hc.SpuriousEvery = o.spurious
+	}
+	return hc
 }
 
 func main() {
@@ -94,7 +113,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|skew, or all")
+		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|skew|batchamortize|abortpolicy, or all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -107,6 +126,10 @@ func run() error {
 	flag.StringVar(&o.router, "router", "range", "shard routing policy: range|hash|adaptive")
 	flag.Float64Var(&o.zipf, "zipf", 0, "Zipfian update-key theta in (0,1); 0 = uniform keys")
 	flag.IntVar(&o.batch, "batch", 1, "batch update threads' operations N at a time through the async pipeline (1 = unbatched)")
+	flag.Uint64Var(&o.spurious, "spurious", 0,
+		"inject a simulated spurious abort every N transactional accesses (0 = none); experiments that pin their own HTM profile keep it")
+	flag.StringVar(&o.policy, "policy", "adaptive",
+		"engine retry policy for all experiments: adaptive|static (abortpolicy compares both regardless)")
 	flag.StringVar(&o.format, "format", "csv",
 		"output format: csv runs the selected -experiment tables; json runs the machine-readable baseline suite (structure x light/heavy x 1/N shards with throughput, ns/op, steady-state allocs/op and per-path counts) used for the committed BENCH_*.json trajectory")
 	flag.Parse()
@@ -124,6 +147,9 @@ func run() error {
 	}
 	if o.batch < 1 {
 		return fmt.Errorf("bad -batch %d (want >= 1)", o.batch)
+	}
+	if _, ok := engine.ParsePolicy(o.policy); !ok {
+		return fmt.Errorf("bad -policy %q (want %s)", o.policy, strings.Join(engine.PolicyNames, " or "))
 	}
 	switch o.format {
 	case "csv", "json":
@@ -152,7 +178,7 @@ func run() error {
 		if e == "all" {
 			exps = append(exps, "fig14", "fig16", "fig17", "pathusage", "sec8",
 				"sec10", "headline", "shardscale", "rqconsistency", "skew",
-				"batchamortize")
+				"batchamortize", "abortpolicy")
 			continue
 		}
 		exps = append(exps, e)
@@ -162,7 +188,8 @@ func run() error {
 	for _, e := range exps {
 		switch e {
 		case "fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
-			"headline", "shardscale", "rqconsistency", "skew", "batchamortize":
+			"headline", "shardscale", "rqconsistency", "skew", "batchamortize",
+			"abortpolicy":
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -191,6 +218,8 @@ func run() error {
 			skew(o)
 		case "batchamortize":
 			batchAmortize(o)
+		case "abortpolicy":
+			abortPolicy(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -228,7 +257,8 @@ func specs(o options) []dsSpec {
 				KeySpan:         keyRange,
 				Router:          o.router,
 				SearchOutsideTx: so,
-				HTM:             hc,
+				HTM:             o.htmCfg(hc),
+				Policy:          o.policy,
 			}.New()
 		}
 	}
@@ -442,6 +472,8 @@ func shardScale(o options) {
 					Algorithm: engine.AlgThreePath,
 					Shards:    shards,
 					KeySpan:   ds.keyRange,
+					HTM:       o.htmCfg(htm.Config{}),
+					Policy:    o.policy,
 				}
 				pinnedModes := []bool{false}
 				if shards > 1 {
@@ -511,6 +543,8 @@ func skew(o options) {
 				// Evaluate often enough that rebalancing converges
 				// within a short measurement window.
 				RebalanceCheckOps: 512,
+				HTM:               o.htmCfg(htm.Config{}),
+				Policy:            o.policy,
 			}
 			med, res := trial(o, spec.New, workload.Config{
 				Threads:   n,
@@ -568,6 +602,8 @@ func batchAmortize(o options) {
 				// admitting handles (and their per-op monitor brackets)
 				// remain.
 				RebalanceCheckOps: 1 << 30,
+				HTM:               o.htmCfg(htm.Config{}),
+				Policy:            o.policy,
 			}
 			med, res := trial(o, spec.New, workload.Config{
 				Threads:  n,
@@ -593,6 +629,87 @@ func batchAmortize(o options) {
 				ds.structure, shards, n, b, med, speedup,
 				res.Batch.Groups, opsPer(res.Batch.Groups),
 				opsPer(res.Batch.RouterLookups), opsPer(res.Batch.MonitorEnters))
+		}
+	}
+}
+
+// abortPolicy compares the static (cause-blind fixed-budget) and
+// adaptive (taxonomy-driven) retry policies head to head under three
+// abort profiles: the default Intel-like simulator, the POWER8
+// capacity-heavy profile on the heavy workload (range queries overflow
+// the 64-entry transaction capacity, so capacity aborts dominate), and
+// a spurious-heavy profile. Each row reports throughput, engine-level
+// aborts per completed operation, the per-cause abort split summed
+// over paths, and the policy's own action counters — backoffs, free
+// (budget-exempt) retries, capacity path-skips and fast-path site
+// demotions. Static rows show zeros in the action columns by
+// construction; the adaptive win shows up as lower aborts_per_op on
+// the capacity- and spurious-heavy profiles at equal or better
+// throughput.
+func abortPolicy(o options) {
+	n := o.threads[len(o.threads)-1]
+	spuriousEvery := o.spurious
+	if spuriousEvery == 0 {
+		spuriousEvery = 50
+	}
+	fmt.Println("# Abort policy: static vs adaptive retry under three abort profiles (3-path, max threads)")
+	fmt.Println("structure,profile,policy,threads,throughput,ops,aborts_per_op,hw_aborts_per_op,abort_conflict,abort_capacity,abort_explicit,abort_spurious,backoffs,free_retries,capacity_skips,demotions")
+	profiles := []struct {
+		name string
+		hc   htm.Config
+		kind workload.Kind
+	}{
+		{"default", htm.Config{}, workload.Light},
+		{"power8-capacity", htm.POWER8Config(), workload.Heavy},
+		{"spurious", htm.Config{SpuriousEvery: spuriousEvery}, workload.Light},
+	}
+	for _, ds := range specs(o) {
+		for _, prof := range profiles {
+			if prof.kind == workload.Heavy && n < 2 {
+				continue // heavy needs >= 1 updater + 1 RQ thread
+			}
+			for _, policy := range engine.PolicyNames {
+				spec := workload.Spec{
+					Structure: ds.structure,
+					Algorithm: engine.AlgThreePath,
+					Shards:    o.shards,
+					KeySpan:   ds.keyRange,
+					Router:    o.router,
+					HTM:       prof.hc,
+					Policy:    policy,
+				}
+				med, res := trial(o, spec.New, workload.Config{
+					Threads:   n,
+					Duration:  o.duration,
+					KeyRange:  ds.keyRange,
+					RQSizeMax: ds.rqMax,
+					Kind:      prof.kind,
+				})
+				ps := res.PathStats
+				ops := ps.Total()
+				cause := func(c htm.AbortCause) uint64 {
+					var t uint64
+					for p := 1; p < htm.NumPaths; p++ {
+						t += ps.Aborts.On(htm.PathKind(p), c)
+					}
+					return t
+				}
+				perOp, hwPerOp := 0.0, 0.0
+				if ops > 0 {
+					perOp = float64(ps.Aborts.Total()) / float64(ops)
+					// Explicit aborts are operation-requested control flow
+					// (helping, fallback-busy); the remainder is what the
+					// retry policy can actually influence.
+					hw := cause(htm.CauseConflict) + cause(htm.CauseCapacity) + cause(htm.CauseSpurious)
+					hwPerOp = float64(hw) / float64(ops)
+				}
+				fmt.Printf("%s,%s,%s,%d,%.0f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+					ds.name, prof.name, policy, n, med, ops, perOp, hwPerOp,
+					cause(htm.CauseConflict), cause(htm.CauseCapacity),
+					cause(htm.CauseExplicit), cause(htm.CauseSpurious),
+					ps.Policy.Backoffs, ps.Policy.FreeRetries,
+					ps.Policy.CapacitySkips, ps.Policy.Demotions)
+			}
 		}
 	}
 }
@@ -633,6 +750,8 @@ func rqConsistency(o options) {
 					KeySpan:   keyRange,
 					Router:    o.router,
 					AtomicRQ:  true,
+					HTM:       o.htmCfg(htm.Config{}),
+					Policy:    o.policy,
 				}
 				d := spec.New()
 				hp := d.NewHandle()

@@ -68,6 +68,48 @@ func Algorithms() []Algorithm {
 // reserved for internal sentinels).
 const MaxKey = dict.MaxKey
 
+// Policy names a retry policy: what the engine does with the abort
+// cause (conflict / capacity / spurious / explicit) a failed
+// transactional attempt reports.
+type Policy string
+
+// Retry policies.
+const (
+	// PolicyAdaptive (the default) adapts per cause: randomized bounded
+	// exponential backoff before conflict retries, immediate path
+	// abandonment on capacity aborts (with per-site capacity memory
+	// that starts repeat offenders past the fast path), and bounded
+	// budget-free retries after spurious aborts.
+	PolicyAdaptive Policy = "adaptive"
+	// PolicyStatic is the cause-blind baseline: fixed attempt budgets,
+	// no backoff — the loops of the paper's Section 7 setup.
+	PolicyStatic Policy = "static"
+)
+
+// Policies lists every retry policy, default first.
+func Policies() []Policy { return []Policy{PolicyAdaptive, PolicyStatic} }
+
+// TMBackend names a transactional-memory backend implementation.
+type TMBackend string
+
+// TM backends.
+const (
+	// TMBackendSim (the default) is the TL2-flavoured simulator:
+	// optimistic per-cell versioning with capacity limits and spurious
+	// abort injection.
+	TMBackendSim TMBackend = "sim"
+	// TMBackendTLELock serializes each tree's (or shard's) transactions
+	// on a mutex: no conflicts between transactions, no footprint
+	// limit, no spurious aborts — the classic software substitute on
+	// machines without TM. Strong atomicity against non-transactional
+	// fallback-path code is preserved (commits still run the versioned
+	// protocol).
+	TMBackendTLELock TMBackend = "tle-lock"
+)
+
+// TMBackends lists every TM backend, default first.
+func TMBackends() []TMBackend { return []TMBackend{TMBackendSim, TMBackendTLELock} }
+
 // RouterKind names a shard-routing policy for sharded trees.
 type RouterKind string
 
@@ -116,6 +158,14 @@ type Config struct {
 	// SpuriousAbortEvery injects a spurious abort with probability
 	// 1/SpuriousAbortEvery per transactional access (0 disables).
 	SpuriousAbortEvery uint64
+	// TMBackend selects the transactional-memory implementation
+	// (default TMBackendSim). The capacity and spurious knobs above
+	// only apply to the simulator.
+	TMBackend TMBackend
+
+	// RetryPolicy selects how the engine reacts to each abort cause
+	// (default PolicyAdaptive).
+	RetryPolicy Policy
 
 	// AttemptLimit is the fast-path budget for TLE and the 2-path
 	// algorithms (default 20); FastLimit and MiddleLimit are the 3-path
@@ -205,11 +255,18 @@ func (c Config) algorithm() (engine.Algorithm, error) {
 	return a, nil
 }
 
-func (c Config) htmConfig() htm.Config {
+func (c Config) htmConfig() (htm.Config, error) {
 	cfg := htm.Config{
 		ReadCapacity:  c.ReadCapacity,
 		WriteCapacity: c.WriteCapacity,
 		SpuriousEvery: c.SpuriousAbortEvery,
+	}
+	switch c.TMBackend {
+	case "", TMBackendSim:
+	case TMBackendTLELock:
+		cfg.Backend = htm.BackendTLELock
+	default:
+		return cfg, fmt.Errorf("htmtree: unknown TM backend %q", c.TMBackend)
 	}
 	if c.POWER8Profile {
 		p := htm.POWER8Config()
@@ -220,10 +277,10 @@ func (c Config) htmConfig() htm.Config {
 			cfg.WriteCapacity = p.WriteCapacity
 		}
 	}
-	return cfg
+	return cfg, nil
 }
 
-func (c Config) engineConfig() engine.Config {
+func (c Config) engineConfig() (engine.Config, error) {
 	cfg := engine.Config{
 		AttemptLimit: c.AttemptLimit,
 		FastLimit:    c.FastLimit,
@@ -232,7 +289,12 @@ func (c Config) engineConfig() engine.Config {
 	if c.UseSNZI {
 		cfg.Indicator = engine.NewSNZIIndicator()
 	}
-	return cfg
+	pol, ok := engine.ParsePolicy(string(c.RetryPolicy))
+	if !ok {
+		return cfg, fmt.Errorf("htmtree: unknown retry policy %q", c.RetryPolicy)
+	}
+	cfg.Policy = pol
+	return cfg, nil
 }
 
 // statsSource exposes the internal statistics of a tree.
@@ -301,11 +363,18 @@ func newBST(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	ecfg := cfg.engineConfig()
+	hcfg, err := cfg.htmConfig()
+	if err != nil {
+		return nil, err
+	}
+	ecfg, err := cfg.engineConfig()
+	if err != nil {
+		return nil, err
+	}
 	ecfg.Monitor = mon
 	t := bst.New(bst.Config{
 		Algorithm:       alg,
-		HTM:             cfg.htmConfig(),
+		HTM:             hcfg,
 		Engine:          ecfg,
 		SearchOutsideTx: cfg.SearchOutsideTx,
 	})
@@ -332,13 +401,20 @@ func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 	if cfg.A != 0 && (cfg.A < 2 || cfg.B < 2*cfg.A-1) {
 		return nil, fmt.Errorf("htmtree: invalid degree bounds a=%d b=%d", cfg.A, cfg.B)
 	}
-	ecfg := cfg.engineConfig()
+	hcfg, err := cfg.htmConfig()
+	if err != nil {
+		return nil, err
+	}
+	ecfg, err := cfg.engineConfig()
+	if err != nil {
+		return nil, err
+	}
 	ecfg.Monitor = mon
 	t := abtree.New(abtree.Config{
 		A:               cfg.A,
 		B:               cfg.B,
 		Algorithm:       alg,
-		HTM:             cfg.htmConfig(),
+		HTM:             hcfg,
 		Engine:          ecfg,
 		SearchOutsideTx: cfg.SearchOutsideTx,
 	})
@@ -669,6 +745,16 @@ type BatchStats struct {
 	Restarts uint64
 }
 
+// PolicyStats counts the retry policy's abort-taxonomy actions.
+type PolicyStats struct {
+	// Backoffs counts randomized waits taken before conflict retries,
+	// FreeRetries the spurious-abort retries granted without consuming
+	// attempt budget, CapacitySkips the paths abandoned with budget
+	// remaining after a capacity abort, and Demotions the operations
+	// that started past the fast path on their site's capacity memory.
+	Backoffs, FreeRetries, CapacitySkips, Demotions uint64
+}
+
 // RebalanceStats counts live shard-rebalancing activity (RouterAdaptive).
 type RebalanceStats struct {
 	// Checks counts imbalance evaluations, Migrations the boundary
@@ -687,6 +773,9 @@ type Stats struct {
 	TxCommits, TxAborts PathCounts
 	// AbortCauses breaks aborts down as "path/cause" -> count.
 	AbortCauses map[string]uint64
+	// Policy reports the retry policy's actions (all zero under
+	// PolicyStatic).
+	Policy PolicyStats
 	// Range reports atomic cross-shard read outcomes; all zero unless
 	// the tree is sharded with AtomicRangeQueries (or RouterAdaptive,
 	// which implies the same read validation).
@@ -717,6 +806,12 @@ func (t *Tree) Stats() Stats {
 			Fallback: hs.TotalAborts(htm.PathFallback),
 		},
 		AbortCauses: make(map[string]uint64),
+		Policy: PolicyStats{
+			Backoffs:      ops.Policy.Backoffs,
+			FreeRetries:   ops.Policy.FreeRetries,
+			CapacitySkips: ops.Policy.CapacitySkips,
+			Demotions:     ops.Policy.Demotions,
+		},
 	}
 	for _, p := range []htm.PathKind{htm.PathFast, htm.PathMiddle, htm.PathFallback} {
 		for c := htm.CauseExplicit; c <= htm.CauseSpurious; c++ {

@@ -13,6 +13,7 @@ import (
 func (h *Handle) buildOps() {
 	t := h.t
 	h.insertOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.insertBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
 		Middle:   func(tx *htm.Tx) { t.insertBody(&prims{t: t, h: h, tx: tx, m: modeMiddle}) },
 		Fallback: func() bool { return t.insertBody(&prims{t: t, h: h, m: modeFallback}) },
@@ -23,6 +24,7 @@ func (h *Handle) buildOps() {
 		Update: true,
 	}
 	h.deleteOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.deleteBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
 		Middle:   func(tx *htm.Tx) { t.deleteBody(&prims{t: t, h: h, tx: tx, m: modeMiddle}) },
 		Fallback: func() bool { return t.deleteBody(&prims{t: t, h: h, m: modeFallback}) },
@@ -33,6 +35,7 @@ func (h *Handle) buildOps() {
 		Update: true,
 	}
 	h.searchOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.searchBody(tx, h) },
 		Middle:   func(tx *htm.Tx) { t.searchBody(tx, h) },
 		Fallback: func() bool { t.searchBody(nil, h); return true },
@@ -40,6 +43,7 @@ func (h *Handle) buildOps() {
 		SCXHTM:   func(bool) bool { t.searchBody(nil, h); return true },
 	}
 	h.rqOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.rqInTx(tx, h) },
 		Middle:   func(tx *htm.Tx) { t.rqInTx(tx, h) },
 		Fallback: func() bool { return t.rqFallback(h) },
@@ -50,6 +54,7 @@ func (h *Handle) buildOps() {
 	// nodes but never change the logical key/value content, so they need
 	// not invalidate cross-shard snapshot validation.
 	h.fixOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.fixBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
 		Middle:   func(tx *htm.Tx) { t.fixBody(&prims{t: t, h: h, tx: tx, m: modeMiddle}) },
 		Fallback: func() bool { return t.fixBody(&prims{t: t, h: h, m: modeFallback}) },

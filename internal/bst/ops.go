@@ -15,6 +15,7 @@ import (
 func (h *Handle) buildOps() {
 	t := h.t
 	h.insertOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.insertFast(tx, h) },
 		Middle:   func(tx *htm.Tx) { t.insertMiddle(tx, h) },
 		Fallback: func() bool { return t.insertTemplate(h, false) },
@@ -23,6 +24,7 @@ func (h *Handle) buildOps() {
 		Update:   true,
 	}
 	h.deleteOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.deleteFast(tx, h) },
 		Middle:   func(tx *htm.Tx) { t.deleteMiddle(tx, h) },
 		Fallback: func() bool { return t.deleteTemplate(h, false) },
@@ -31,6 +33,7 @@ func (h *Handle) buildOps() {
 		Update:   true,
 	}
 	h.searchOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.searchBody(tx, h) },
 		Middle:   func(tx *htm.Tx) { t.searchBody(tx, h) },
 		Fallback: func() bool { t.searchBody(nil, h); return true },
@@ -38,6 +41,7 @@ func (h *Handle) buildOps() {
 		SCXHTM:   func(bool) bool { t.searchBody(nil, h); return true },
 	}
 	h.rqOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.rqInTx(tx, h) },
 		Middle:   func(tx *htm.Tx) { t.rqInTx(tx, h) },
 		Fallback: func() bool { return t.rqFallback(h) },

@@ -128,6 +128,7 @@ var _ dict.Handle = (*Handle)(nil)
 func (t *Tree) NewHandle() dict.Handle {
 	h := &Handle{t: t, e: t.eng.NewThread(t.tm.NewThread()), rd: t.rcu.NewReader()}
 	h.insertOp = engine.Op{
+		Site:   engine.NewSite(),
 		Fast:   func(tx *htm.Tx) { t.insertTx(tx, h, false) },
 		Middle: func(tx *htm.Tx) { t.insertMiddle(tx, h) },
 		Fallback: func() bool {
@@ -138,6 +139,7 @@ func (t *Tree) NewHandle() dict.Handle {
 		SCXHTM: func(bool) bool { return t.insertFallback(h) },
 	}
 	h.deleteOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.deleteTx(tx, h, false) },
 		Middle:   func(tx *htm.Tx) { t.deleteMiddle(tx, h) },
 		Fallback: func() bool { return t.deleteFallback(h) },
@@ -145,6 +147,7 @@ func (t *Tree) NewHandle() dict.Handle {
 		SCXHTM:   func(bool) bool { return t.deleteFallback(h) },
 	}
 	h.searchOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.searchBody(tx, h, false) },
 		Middle:   func(tx *htm.Tx) { t.searchBody(tx, h, true) },
 		Fallback: func() bool { t.searchFallback(h); return true },
@@ -152,6 +155,7 @@ func (t *Tree) NewHandle() dict.Handle {
 		SCXHTM:   func(bool) bool { t.searchFallback(h); return true },
 	}
 	h.rqOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.rqInTx(tx, h) },
 		Middle:   func(tx *htm.Tx) { t.rqMiddle(tx, h) },
 		Fallback: func() bool { t.rqFallback(h); return true },

@@ -169,6 +169,11 @@ type Config struct {
 	// ingress/egress counters. The sharding layer installs one monitor
 	// per shard to make cross-shard range queries atomic.
 	Monitor *UpdateMonitor
+	// Policy is the retry policy consulted with the htm.Abort after
+	// every failed transactional attempt, on every algorithm (default:
+	// NewAdaptivePolicy; StaticPolicy restores the cause-blind
+	// fixed-budget loops).
+	Policy RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +188,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Indicator == nil {
 		c.Indicator = &counterIndicator{}
+	}
+	if c.Policy == nil {
+		c.Policy = NewAdaptivePolicy()
 	}
 	return c
 }
@@ -230,7 +238,15 @@ type Thread struct {
 	Tags llxscx.TagSource
 
 	eng *Engine
-	ops [4]uint64 // completions indexed by htm.PathKind
+	ops [htm.NumPaths]uint64 // completions indexed by htm.PathKind
+	// aborts counts failed transactional attempts per path and cause as
+	// seen by the attempt loops; polstats counts the retry policy's
+	// actions. Both are written with atomic adds so Stats may read them
+	// from a reporting goroutine.
+	aborts   [htm.NumPaths][htm.NumCauses]uint64
+	polstats PolicyStats
+	// site is the fallback policy site for ops built without their own.
+	site Site
 
 	// rec is the thread's epoch-based-reclamation context, created by
 	// EnableReclaim; Run brackets every operation with its Begin/End so
@@ -273,7 +289,7 @@ func (e *Engine) ReclaimReader() *ebr.Thread {
 func (e *Engine) NewThread(h *htm.Thread) *Thread {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	th := &Thread{H: h, eng: e}
+	th := &Thread{H: h, eng: e, site: *NewSite()}
 	e.threads = append(e.threads, th)
 	return th
 }
@@ -327,18 +343,65 @@ func (th *Thread) Retire(p htm.PathKind, fastOK bool, x any) (immediate bool) {
 	return false
 }
 
-// OpStats counts operation completions per execution path.
+// AbortCounts breaks failed transactional attempts down by execution
+// path and abort cause (path index 0 is unused, as in htm.Stats).
+type AbortCounts [htm.NumPaths][htm.NumCauses]uint64
+
+// Merge adds another snapshot into a.
+func (a *AbortCounts) Merge(o AbortCounts) {
+	for p := 0; p < htm.NumPaths; p++ {
+		for c := 0; c < htm.NumCauses; c++ {
+			a[p][c] += o[p][c]
+		}
+	}
+}
+
+// On returns the abort count for one path and cause.
+func (a *AbortCounts) On(p htm.PathKind, c htm.AbortCause) uint64 { return a[p][c] }
+
+// PathTotal returns the aborts on path p across all causes.
+func (a *AbortCounts) PathTotal(p htm.PathKind) uint64 {
+	var n uint64
+	for c := 0; c < htm.NumCauses; c++ {
+		n += a[p][c]
+	}
+	return n
+}
+
+// Total returns the aborts across all paths and causes.
+func (a *AbortCounts) Total() uint64 {
+	var n uint64
+	for p := 1; p < htm.NumPaths; p++ {
+		n += a.PathTotal(htm.PathKind(p))
+	}
+	return n
+}
+
+// OpStats counts operation completions per execution path, failed
+// transactional attempts per path and cause, and retry-policy actions.
 type OpStats struct {
 	Fast     uint64
 	Middle   uint64
 	Fallback uint64
+	Aborts   AbortCounts
+	Policy   PolicyStats
 }
 
 // Total returns the total number of completed operations.
 func (s OpStats) Total() uint64 { return s.Fast + s.Middle + s.Fallback }
 
-// Stats sums the per-path operation completions over all threads. Safe
-// to call while threads run (the snapshot is then approximate).
+// Merge adds another snapshot into s (the shard layer's aggregation).
+func (s *OpStats) Merge(o OpStats) {
+	s.Fast += o.Fast
+	s.Middle += o.Middle
+	s.Fallback += o.Fallback
+	s.Aborts.Merge(o.Aborts)
+	s.Policy.Merge(o.Policy)
+}
+
+// Stats sums the per-path operation completions, per-cause abort counts
+// and policy actions over all threads. Safe to call while threads run
+// (the snapshot is then approximate).
 func (e *Engine) Stats() OpStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -347,12 +410,22 @@ func (e *Engine) Stats() OpStats {
 		s.Fast += atomic.LoadUint64(&th.ops[htm.PathFast])
 		s.Middle += atomic.LoadUint64(&th.ops[htm.PathMiddle])
 		s.Fallback += atomic.LoadUint64(&th.ops[htm.PathFallback])
+		for p := 0; p < htm.NumPaths; p++ {
+			for c := 0; c < htm.NumCauses; c++ {
+				s.Aborts[p][c] += atomic.LoadUint64(&th.aborts[p][c])
+			}
+		}
+		s.Policy.addAtomic(&th.polstats)
 	}
 	return s
 }
 
 func (th *Thread) completed(p htm.PathKind) {
 	atomic.AddUint64(&th.ops[p], 1)
+}
+
+func (th *Thread) noteAbort(p htm.PathKind, c htm.AbortCause) {
+	atomic.AddUint64(&th.aborts[p][c], 1)
 }
 
 // Op supplies the bodies of one data-structure operation. Bodies are
@@ -386,6 +459,11 @@ type Op struct {
 	// Monitor, update operations publish their commit through it and
 	// wait at the quiesce gate.
 	Update bool
+	// Site carries the retry policy's per-call-site state (capacity
+	// memory, backoff PRNG stream). Handles that build an Op once per
+	// operation type should give it its own NewSite; nil shares the
+	// engine thread's site across all of the thread's unsited ops.
+	Site *Site
 	// prepared records that Fast and Middle already include the
 	// monitor's commit bump (Thread.PrepareOp), so Run need not wrap
 	// them per call.
@@ -465,67 +543,56 @@ func (th *Thread) Run(op Op) htm.PathKind {
 		// Fast path: the whole operation in one transaction using the
 		// HTM-based LLX and SCX; it may run concurrently with the
 		// fallback path, so no presence indicator is needed.
-		for i := 0; i < e.cfg.AttemptLimit; i++ {
-			if ok, _ := th.H.Atomic(htm.PathFast, op.Middle); ok {
-				th.completed(htm.PathFast)
-				return htm.PathFast
-			}
+		site := op.policySite(th)
+		if !th.skipFast(site) &&
+			th.runPath(site, htm.PathFast, e.cfg.AttemptLimit, false, nil, op.Middle) {
+			th.completed(htm.PathFast)
+			return htm.PathFast
 		}
 		th.runFallbackLoop(op, nil, mon)
 		return htm.PathFallback
 
 	case AlgTwoPathNCon:
 		ind := e.cfg.Indicator
-		for i := 0; i < e.cfg.AttemptLimit; i++ {
-			// Wait for the fallback path to empty before each attempt
-			// (this waiting is the 2-path-ncon bottleneck the paper
-			// highlights).
-			waitWhile(func() bool { return ind.Nonzero(nil) })
-			ok, _ := th.H.Atomic(htm.PathFast, func(tx *htm.Tx) {
+		site := op.policySite(th)
+		// Wait for the fallback path to empty before each attempt (this
+		// waiting is the 2-path-ncon bottleneck the paper highlights).
+		if !th.skipFast(site) && th.runPath(site, htm.PathFast, e.cfg.AttemptLimit, false,
+			func() { waitWhile(func() bool { return ind.Nonzero(nil) }) },
+			func(tx *htm.Tx) {
 				if ind.Nonzero(tx) {
 					tx.Abort(CodeFallbackBusy)
 				}
 				op.Fast(tx)
-			})
-			if ok {
-				th.completed(htm.PathFast)
-				return htm.PathFast
-			}
+			}) {
+			th.completed(htm.PathFast)
+			return htm.PathFast
 		}
 		th.runFallbackLoop(op, ind, mon)
 		return htm.PathFallback
 
 	case AlgThreePath:
 		ind := e.cfg.Indicator
-		// Fast path: move to the middle path after FastLimit attempts,
-		// immediately if the fallback path is busy, and immediately on a
-		// capacity abort (the transaction cannot fit; hardware reports
-		// this via the "retry" hint bit being clear).
-		for i := 0; i < e.cfg.FastLimit; i++ {
-			ok, ab := th.H.Atomic(htm.PathFast, func(tx *htm.Tx) {
+		site := op.policySite(th)
+		// Fast path: move to the middle path when the policy gives up on
+		// the path (a capacity abort under the adaptive policy — the
+		// transaction cannot fit; hardware reports this via the "retry"
+		// hint bit being clear), immediately if the fallback path is
+		// busy, or after FastLimit attempts.
+		if !th.skipFast(site) && th.runPath(site, htm.PathFast, e.cfg.FastLimit, true,
+			nil,
+			func(tx *htm.Tx) {
 				if ind.Nonzero(tx) {
 					tx.Abort(CodeFallbackBusy)
 				}
 				op.Fast(tx)
-			})
-			if ok {
-				th.completed(htm.PathFast)
-				return htm.PathFast
-			}
-			if ab.Cause == htm.CauseCapacity ||
-				(ab.Cause == htm.CauseExplicit && ab.Code == CodeFallbackBusy) {
-				break
-			}
+			}) {
+			th.completed(htm.PathFast)
+			return htm.PathFast
 		}
-		for i := 0; i < e.cfg.MiddleLimit; i++ {
-			ok, ab := th.H.Atomic(htm.PathMiddle, op.Middle)
-			if ok {
-				th.completed(htm.PathMiddle)
-				return htm.PathMiddle
-			}
-			if ab.Cause == htm.CauseCapacity {
-				break
-			}
+		if th.runPath(site, htm.PathMiddle, e.cfg.MiddleLimit, false, nil, op.Middle) {
+			th.completed(htm.PathMiddle)
+			return htm.PathMiddle
 		}
 		th.runFallbackLoop(op, ind, mon)
 		return htm.PathFallback
@@ -555,28 +622,32 @@ func (th *Thread) Run(op Op) htm.PathKind {
 }
 
 // runTLE implements transactional lock elision: the fast path subscribes
-// to the global lock and aborts while it is held; after AttemptLimit
-// failed attempts the operation acquires the lock and runs the
-// sequential body. TLE is deadlock-free but not lock-free.
+// to the global lock and aborts while it is held; when the retry policy
+// exhausts the AttemptLimit budget the operation acquires the lock and
+// runs the sequential body. TLE is deadlock-free but not lock-free.
 func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 	e := th.eng
-	for i := 0; i < e.cfg.AttemptLimit; i++ {
-		waitWhile(func() bool { return e.tle.Get(nil) != 0 })
-		ok, _ := th.H.Atomic(htm.PathFast, func(tx *htm.Tx) {
+	site := op.policySite(th)
+	if !th.skipFast(site) && th.runPath(site, htm.PathFast, e.cfg.AttemptLimit, false,
+		func() { waitWhile(func() bool { return e.tle.Get(nil) != 0 }) },
+		func(tx *htm.Tx) {
 			if e.tle.Get(tx) != 0 {
 				tx.Abort(CodeLockHeld)
 			}
 			op.Fast(tx)
-		})
-		if ok {
-			th.completed(htm.PathFast)
-			return htm.PathFast
-		}
+		}) {
+		th.completed(htm.PathFast)
+		return htm.PathFast
 	}
 	for !e.tle.CAS(nil, 0, 1) {
 		runtime.Gosched()
 	}
 	func() {
+		// Release with defer, like the monitor bracket below: a panic
+		// out of the locked body must not strand the global lock, which
+		// would wedge every thread of the engine forever (elided
+		// attempts subscribe to it and the locked path spins on it).
+		defer e.tle.Set(nil, 0)
 		// Bracket with defer, like runFallbackLoop: a panic out of the
 		// locked body must not strand the ingress counter (which would
 		// wedge every future Sample and Quiesce on this monitor).
@@ -586,9 +657,79 @@ func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 		}
 		op.Locked()
 	}()
-	e.tle.Set(nil, 0)
 	th.completed(htm.PathFallback)
 	return htm.PathFallback
+}
+
+// policySite resolves the Site the retry policy adapts on for this
+// operation: the op's own, or the thread's shared site.
+func (op *Op) policySite(th *Thread) *Site {
+	if op.Site != nil {
+		return op.Site
+	}
+	return &th.site
+}
+
+// skipFast asks the policy whether this operation should start past the
+// fast path, counting the demotion when it says yes.
+func (th *Thread) skipFast(site *Site) bool {
+	if !th.eng.cfg.Policy.SkipFast(site) {
+		return false
+	}
+	atomic.AddUint64(&th.polstats.Demotions, 1)
+	return true
+}
+
+// runPath drives one execution path's attempt loop under the engine's
+// retry policy, reporting whether an attempt committed. budget bounds
+// the budgeted attempts (the policy may grant bounded free retries on
+// top); preWait, when non-nil, runs before every attempt (TLE's lock
+// wait, 2-path-ncon's indicator wait); busyBreak abandons the path
+// immediately on an explicit CodeFallbackBusy abort (the 3-path fast
+// loop's reaction to a busy fallback path, which is the algorithm's
+// structure rather than retry policy).
+func (th *Thread) runPath(site *Site, path htm.PathKind, budget int, busyBreak bool,
+	preWait func(), body func(tx *htm.Tx)) bool {
+	pol := th.eng.cfg.Policy
+	free := 0
+	for used := 0; used < budget; {
+		if preWait != nil {
+			preWait()
+		}
+		ok, ab := th.H.Atomic(path, body)
+		if ok {
+			if path == htm.PathFast {
+				site.noteFastCommit()
+			}
+			return true
+		}
+		th.noteAbort(path, ab.Cause)
+		if ab.Cause == htm.CauseCapacity && path == htm.PathFast {
+			site.noteCapacity()
+		}
+		if busyBreak && ab.Cause == htm.CauseExplicit && ab.Code == CodeFallbackBusy {
+			return false
+		}
+		switch d := pol.AfterAbort(site, path, ab, used, free); d.Action {
+		case ActionNextPath:
+			atomic.AddUint64(&th.polstats.CapacitySkips, 1)
+			return false
+		case ActionFreeRetry:
+			free++
+			atomic.AddUint64(&th.polstats.FreeRetries, 1)
+			if d.Backoff > 0 {
+				atomic.AddUint64(&th.polstats.Backoffs, 1)
+				backoffSpin(d.Backoff)
+			}
+		default:
+			used++
+			if d.Backoff > 0 {
+				atomic.AddUint64(&th.polstats.Backoffs, 1)
+				backoffSpin(d.Backoff)
+			}
+		}
+	}
+	return false
 }
 
 // runFallbackLoop runs the lock-free fallback body to completion,

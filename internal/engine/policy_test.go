@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"testing"
+
+	"htmtree/internal/htm"
+)
+
+// txAlgorithms are the algorithms with a transactional fast path, i.e.
+// the ones the retry policy actually steers.
+var txAlgorithms = []Algorithm{AlgTLE, AlgTwoPathConc, AlgTwoPathNCon, AlgThreePath}
+
+// TestTLELockedBodyPanicReleasesLock is the regression test for the TLE
+// lock leak: a panic out of the locked body must release the global
+// lock and rebalance the monitor's ingress/egress counters, or every
+// later operation of the engine wedges (elided attempts subscribe to
+// the lock; Sample never succeeds again).
+func TestTLELockedBodyPanicReleasesLock(t *testing.T) {
+	t.Parallel()
+	tm := htm.New(htm.Config{})
+	mon := NewUpdateMonitor(&counterIndicator{})
+	e := New(Config{Algorithm: AlgTLE, AttemptLimit: 2, Monitor: mon}, tm.Clock())
+	th := e.NewThread(tm.NewThread())
+	var c htm.Word
+	c.Bind(tm.Clock())
+
+	// Drive the operation to the locked path (every elided attempt aborts
+	// explicitly), then panic out of the locked body.
+	func() {
+		defer func() {
+			if r := recover(); r != "locked-body-boom" {
+				t.Fatalf("recovered %v, want locked-body-boom", r)
+			}
+		}()
+		th.Run(Op{
+			Update: true,
+			Fast:   func(tx *htm.Tx) { tx.Abort(CodeRetry) },
+			Locked: func() { panic("locked-body-boom") },
+		})
+	}()
+
+	// The lock must be free: an ordinary TLE operation completes. If the
+	// panic stranded the lock this spins forever and the test times out.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		th2 := e.NewThread(tm.NewThread())
+		for i := 0; i < 10; i++ {
+			th2.Run(Op{
+				Update: true,
+				Fast:   func(tx *htm.Tx) { c.Set(tx, c.Get(tx)+1) },
+				Locked: func() { c.Set(nil, c.Get(nil)+1) },
+			})
+		}
+	}()
+	<-done
+	if got := c.Get(nil); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	// The monitor's non-transactional bracket must be balanced: Sample
+	// fails forever if the panic stranded the ingress counter.
+	if _, ok := mon.Sample(); !ok {
+		t.Fatal("monitor reports an update still in flight after the panic unwound")
+	}
+}
+
+// TestAbortCauseBuckets induces each abort cause on each transactional
+// algorithm and asserts it lands in the matching
+// Stats().Aborts[path][cause] bucket.
+func TestAbortCauseBuckets(t *testing.T) {
+	t.Parallel()
+	overflow := func(cells []htm.Word) func(tx *htm.Tx) {
+		return func(tx *htm.Tx) {
+			for i := range cells {
+				_ = cells[i].Get(tx)
+			}
+		}
+	}
+	cases := []struct {
+		name   string
+		htmCfg htm.Config
+		mkOp   func(clk *htm.Clock) Op
+		cause  htm.AbortCause
+	}{
+		{
+			name:   "spurious",
+			htmCfg: htm.Config{SpuriousEvery: 1},
+			mkOp: func(clk *htm.Clock) Op {
+				var c htm.Word
+				c.Bind(clk)
+				op := counterOp(&c)
+				return op
+			},
+			cause: htm.CauseSpurious,
+		},
+		{
+			name:   "capacity",
+			htmCfg: htm.Config{ReadCapacity: 2},
+			mkOp: func(clk *htm.Clock) Op {
+				cells := make([]htm.Word, 8)
+				body := overflow(cells)
+				return Op{Fast: body, Middle: body,
+					Fallback: func() bool { return true },
+					Locked:   func() {}}
+			},
+			cause: htm.CauseCapacity,
+		},
+		{
+			name:   "explicit",
+			htmCfg: htm.Config{},
+			mkOp: func(clk *htm.Clock) Op {
+				body := func(tx *htm.Tx) { tx.Abort(CodeRetry) }
+				return Op{Fast: body, Middle: body,
+					Fallback: func() bool { return true },
+					Locked:   func() {}}
+			},
+			cause: htm.CauseExplicit,
+		},
+		{
+			name:   "conflict",
+			htmCfg: htm.Config{},
+			mkOp: func(clk *htm.Clock) Op {
+				var c, w htm.Word
+				c.Bind(clk)
+				// Read c, then invalidate the read from outside the
+				// transaction: commit-time validation reports a conflict.
+				body := func(tx *htm.Tx) {
+					_ = c.Get(tx)
+					c.Set(nil, c.Get(nil)+1)
+					w.Set(tx, 1)
+				}
+				return Op{Fast: body, Middle: body,
+					Fallback: func() bool { return true },
+					Locked:   func() {}}
+			},
+			cause: htm.CauseConflict,
+		},
+	}
+	for _, pol := range PolicyNames {
+		for _, tc := range cases {
+			for _, alg := range txAlgorithms {
+				pol, tc, alg := pol, tc, alg
+				t.Run(pol+"/"+tc.name+"/"+alg.String(), func(t *testing.T) {
+					t.Parallel()
+					p, _ := ParsePolicy(pol)
+					tm := htm.New(tc.htmCfg)
+					e := New(Config{Algorithm: alg, Policy: p,
+						AttemptLimit: 4, FastLimit: 4, MiddleLimit: 4}, tm.Clock())
+					th := e.NewThread(tm.NewThread())
+					th.Run(tc.mkOp(tm.Clock()))
+					s := e.Stats()
+					if got := s.Aborts.On(htm.PathFast, tc.cause); got == 0 {
+						t.Fatalf("Aborts[fast][%v] = 0, want > 0 (all: %v)", tc.cause, s.Aborts)
+					}
+					// Nothing may land in the other causes' buckets.
+					for c := htm.AbortCause(1); c < htm.NumCauses; c++ {
+						if c != tc.cause && s.Aborts.On(htm.PathFast, c) != 0 {
+							t.Fatalf("Aborts[fast][%v] = %d, want 0", c, s.Aborts.On(htm.PathFast, c))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAdaptiveCapacityConsumesPathBudget asserts the tentpole behavior:
+// under the adaptive policy a capacity abort abandons the path after a
+// single attempt on every algorithm (retrying cannot shrink the
+// footprint), where the static policy burns the full budget.
+func TestAdaptiveCapacityConsumesPathBudget(t *testing.T) {
+	t.Parallel()
+	for _, alg := range txAlgorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			tm := htm.New(htm.Config{ReadCapacity: 2})
+			e := New(Config{Algorithm: alg, Policy: NewAdaptivePolicy()}, tm.Clock())
+			th := e.NewThread(tm.NewThread())
+			cells := make([]htm.Word, 8)
+			body := func(tx *htm.Tx) {
+				for i := range cells {
+					_ = cells[i].Get(tx)
+				}
+			}
+			p := th.Run(Op{Fast: body, Middle: body,
+				Fallback: func() bool { return true },
+				Locked:   func() {}})
+			if p != htm.PathFallback {
+				t.Fatalf("completed on %v, want fallback", p)
+			}
+			s := e.Stats()
+			if got := s.Aborts.On(htm.PathFast, htm.CauseCapacity); got != 1 {
+				t.Fatalf("fast capacity aborts = %d, want 1 (path abandoned immediately)", got)
+			}
+			wantSkips := uint64(1)
+			if alg == AlgThreePath {
+				if got := s.Aborts.On(htm.PathMiddle, htm.CauseCapacity); got != 1 {
+					t.Fatalf("middle capacity aborts = %d, want 1", got)
+				}
+				wantSkips = 2
+			}
+			if s.Policy.CapacitySkips != wantSkips {
+				t.Fatalf("CapacitySkips = %d, want %d", s.Policy.CapacitySkips, wantSkips)
+			}
+		})
+	}
+}
+
+// TestStaticPolicyBurnsFullBudget pins the baseline: the cause-blind
+// policy retries capacity aborts until the budget is gone.
+func TestStaticPolicyBurnsFullBudget(t *testing.T) {
+	t.Parallel()
+	tm := htm.New(htm.Config{ReadCapacity: 2})
+	e := New(Config{Algorithm: AlgThreePath, Policy: StaticPolicy{},
+		FastLimit: 4, MiddleLimit: 3}, tm.Clock())
+	th := e.NewThread(tm.NewThread())
+	cells := make([]htm.Word, 8)
+	body := func(tx *htm.Tx) {
+		for i := range cells {
+			_ = cells[i].Get(tx)
+		}
+	}
+	if p := th.Run(Op{Fast: body, Middle: body,
+		Fallback: func() bool { return true }}); p != htm.PathFallback {
+		t.Fatalf("completed on %v, want fallback", p)
+	}
+	s := e.Stats()
+	if got := s.Aborts.On(htm.PathFast, htm.CauseCapacity); got != 4 {
+		t.Fatalf("fast capacity aborts = %d, want FastLimit=4", got)
+	}
+	if got := s.Aborts.On(htm.PathMiddle, htm.CauseCapacity); got != 3 {
+		t.Fatalf("middle capacity aborts = %d, want MiddleLimit=3", got)
+	}
+	if s.Policy != (PolicyStats{}) {
+		t.Fatalf("static policy recorded actions: %+v", s.Policy)
+	}
+}
+
+// TestAdaptiveSpuriousFreeRetries pins the free-retry accounting: with
+// every access aborting spuriously, each transactional path grants
+// exactly FreeRetries budget-exempt attempts on top of its budget.
+func TestAdaptiveSpuriousFreeRetries(t *testing.T) {
+	t.Parallel()
+	tm := htm.New(htm.Config{SpuriousEvery: 1})
+	e := New(Config{Algorithm: AlgThreePath, Policy: NewAdaptivePolicy(),
+		FastLimit: 4, MiddleLimit: 2}, tm.Clock())
+	th := e.NewThread(tm.NewThread())
+	var c htm.Word
+	c.Bind(tm.Clock())
+	if p := th.Run(counterOp(&c)); p != htm.PathFallback {
+		t.Fatalf("completed on %v, want fallback", p)
+	}
+	s := e.Stats()
+	free := NewAdaptivePolicy().FreeRetries
+	if want := uint64(4 + free); s.Aborts.On(htm.PathFast, htm.CauseSpurious) != want {
+		t.Fatalf("fast spurious aborts = %d, want budget+free = %d",
+			s.Aborts.On(htm.PathFast, htm.CauseSpurious), want)
+	}
+	if want := uint64(2 + free); s.Aborts.On(htm.PathMiddle, htm.CauseSpurious) != want {
+		t.Fatalf("middle spurious aborts = %d, want budget+free = %d",
+			s.Aborts.On(htm.PathMiddle, htm.CauseSpurious), want)
+	}
+	if want := uint64(2 * free); s.Policy.FreeRetries != want {
+		t.Fatalf("FreeRetries = %d, want %d", s.Policy.FreeRetries, want)
+	}
+}
+
+// TestAdaptiveConflictBackoff checks conflict aborts take randomized
+// backoffs (and only conflicts do).
+func TestAdaptiveConflictBackoff(t *testing.T) {
+	t.Parallel()
+	tm := htm.New(htm.Config{})
+	e := New(Config{Algorithm: AlgTwoPathConc, Policy: NewAdaptivePolicy(),
+		AttemptLimit: 4}, tm.Clock())
+	th := e.NewThread(tm.NewThread())
+	var c, w htm.Word
+	c.Bind(tm.Clock())
+	body := func(tx *htm.Tx) {
+		_ = c.Get(tx)
+		c.Set(nil, c.Get(nil)+1) // invalidate our own read set
+		w.Set(tx, 1)
+	}
+	if p := th.Run(Op{Middle: body, Fallback: func() bool { return true }}); p != htm.PathFallback {
+		t.Fatalf("completed on %v, want fallback", p)
+	}
+	s := e.Stats()
+	if s.Policy.Backoffs != 4 {
+		t.Fatalf("Backoffs = %d, want one per conflict abort (4)", s.Policy.Backoffs)
+	}
+}
+
+// TestCapacityDemotesSite checks the saturating capacity score: a site
+// that keeps overflowing the fast path gets demoted (operations start
+// on the middle path), with occasional probes keeping recovery
+// possible.
+func TestCapacityDemotesSite(t *testing.T) {
+	t.Parallel()
+	tm := htm.New(htm.Config{ReadCapacity: 2})
+	e := New(Config{Algorithm: AlgThreePath, Policy: NewAdaptivePolicy()}, tm.Clock())
+	th := e.NewThread(tm.NewThread())
+	cells := make([]htm.Word, 8)
+	body := func(tx *htm.Tx) {
+		for i := range cells {
+			_ = cells[i].Get(tx)
+		}
+	}
+	op := Op{Site: NewSite(), Fast: body, Middle: body,
+		Fallback: func() bool { return true }}
+	const runs = 64
+	for i := 0; i < runs; i++ {
+		th.Run(op)
+	}
+	s := e.Stats()
+	if s.Policy.Demotions == 0 {
+		t.Fatal("no demotions after repeated capacity overflow")
+	}
+	// Demoted operations skip the fast path entirely, so it sees far
+	// fewer capacity aborts than one per run (only the pre-demotion runs
+	// and the ~1/16 probes).
+	fast := s.Aborts.On(htm.PathFast, htm.CauseCapacity)
+	if fast+s.Policy.Demotions != runs {
+		t.Fatalf("fast attempts (%d) + demotions (%d) != runs (%d)",
+			fast, s.Policy.Demotions, runs)
+	}
+	if fast >= runs/2 {
+		t.Fatalf("fast capacity aborts = %d of %d runs; site never demoted", fast, runs)
+	}
+}

@@ -1,0 +1,238 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBackendKindString(t *testing.T) {
+	t.Parallel()
+	if got := BackendSim.String(); got != "sim" {
+		t.Errorf("BackendSim = %q, want sim", got)
+	}
+	if got := BackendTLELock.String(); got != "tle-lock" {
+		t.Errorf("BackendTLELock = %q, want tle-lock", got)
+	}
+	if got := NewBackend(BackendSim).Name(); got != "sim" {
+		t.Errorf("sim backend Name = %q", got)
+	}
+	if got := NewBackend(BackendTLELock).Name(); got != "tle-lock" {
+		t.Errorf("tle-lock backend Name = %q", got)
+	}
+}
+
+func TestBackendAccessor(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{Backend: BackendTLELock})
+	if got := tm.Backend().Name(); got != "tle-lock" {
+		t.Fatalf("Backend().Name() = %q, want tle-lock", got)
+	}
+}
+
+// TestTLELockBackendSerializes runs the concurrent-counter workload on
+// the mutex backend. With every transaction of the TM serialized under
+// one lock and no non-transactional writers, no attempt can ever abort.
+func TestTLELockBackendSerializes(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{Backend: BackendTLELock})
+	const goroutines = 8
+	const perG = 2000
+	var c Word
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := tm.NewThread()
+			for i := 0; i < perG; i++ {
+				ok, ab := th.Atomic(PathFast, func(tx *Tx) {
+					c.Set(tx, c.Get(tx)+1)
+				})
+				if !ok {
+					t.Errorf("serialized transaction aborted: %+v", ab)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(nil); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestTLELockBackendIgnoresSimKnobs verifies the capacity and spurious
+// configuration only applies to the simulator: under the mutex backend a
+// transaction may touch any number of cells and never fails spuriously.
+func TestTLELockBackendIgnoresSimKnobs(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{
+		Backend:       BackendTLELock,
+		ReadCapacity:  2,
+		WriteCapacity: 2,
+		SpuriousEvery: 1, // would abort every access on the simulator
+	})
+	th := tm.NewThread()
+	cells := make([]Word, 64)
+	ok, ab := th.Atomic(PathFast, func(tx *Tx) {
+		for i := range cells {
+			cells[i].Set(tx, cells[i].Get(tx)+1)
+		}
+	})
+	if !ok {
+		t.Fatalf("tle-lock transaction aborted: %+v", ab)
+	}
+	for i := range cells {
+		if got := cells[i].Get(nil); got != 1 {
+			t.Fatalf("cells[%d] = %d, want 1", i, got)
+		}
+	}
+}
+
+// TestTLELockBackendStrongAtomicity checks the mutex backend still runs
+// the versioned commit protocol: a non-transactional reader (modelling
+// fallback-path code, which does not take the mutex) must never observe
+// a torn multi-cell commit.
+func TestTLELockBackendStrongAtomicity(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{Backend: BackendTLELock})
+	var x, y Word
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := tm.NewThread()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Atomic(PathFast, func(tx *Tx) {
+					v := x.Get(tx) + 1
+					x.Set(tx, v)
+					y.Set(tx, v)
+				})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100000; i++ {
+			yv := y.Get(nil)
+			xv := x.Get(nil)
+			if xv < yv {
+				t.Errorf("torn read: x=%d < y=%d", xv, yv)
+				break
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}
+
+// TestForeignPanicReleasesTLELock is the regression test for attempt
+// teardown on foreign panics: a panic unwinding the transaction body
+// must still release the backend's Begin-acquired mutex, or the TM
+// deadlocks forever after.
+func TestForeignPanicReleasesTLELock(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{Backend: BackendTLELock})
+	th := tm.NewThread()
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		th.Atomic(PathFast, func(*Tx) { panic("boom") })
+	}()
+	// Another thread must be able to begin (i.e. lock) immediately; if the
+	// unwound attempt stranded the mutex this blocks forever and the test
+	// times out.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		th2 := tm.NewThread()
+		if ok, ab := th2.Atomic(PathFast, func(*Tx) {}); !ok {
+			t.Errorf("transaction after panic aborted: %+v", ab)
+		}
+	}()
+	<-done
+	// The panicking thread itself is reusable too.
+	if ok, ab := th.Atomic(PathFast, func(*Tx) {}); !ok {
+		t.Fatalf("panicking thread unusable: %+v", ab)
+	}
+}
+
+// TestForeignPanicDropsLog verifies a foreign panic zeroes the write
+// set's buffered ptr entries (not merely truncates), so an abandoned
+// attempt on an idle thread cannot pin nodes against reclamation.
+func TestForeignPanicDropsLog(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	type node struct{ k int }
+	var r Ref[node]
+	var w Word
+	func() {
+		defer func() { recover() }()
+		th.Atomic(PathFast, func(tx *Tx) {
+			_ = w.Get(tx)
+			r.Set(tx, &node{1})
+			panic("boom")
+		})
+	}()
+	tx := &th.tx
+	if len(tx.reads) != 0 || len(tx.writes) != 0 {
+		t.Fatalf("log not truncated: %d reads, %d writes", len(tx.reads), len(tx.writes))
+	}
+	for i := range tx.writes[:cap(tx.writes)] {
+		if e := &tx.writes[:cap(tx.writes)][i]; e.ptr != nil || e.c != nil {
+			t.Fatalf("write entry %d not zeroed: %+v", i, e)
+		}
+	}
+	for i := range tx.reads[:cap(tx.reads)] {
+		if e := &tx.reads[:cap(tx.reads)][i]; e.ver != nil {
+			t.Fatalf("read entry %d not zeroed: %+v", i, e)
+		}
+	}
+}
+
+// TestThreadStatsConcurrent hammers Thread.Stats from a reporting
+// goroutine while the owner commits and aborts transactions; under the
+// race detector this fails if either side bypasses the atomic counters.
+func TestThreadStatsConcurrent(t *testing.T) {
+	t.Parallel()
+	tm := New(Config{})
+	th := tm.NewThread()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = th.Stats()
+			_ = tm.Stats()
+		}
+	}()
+	var x Word
+	for i := 0; i < 20000; i++ {
+		th.Atomic(PathFast, func(tx *Tx) { x.Set(tx, uint64(i)) })
+		th.Atomic(PathMiddle, func(tx *Tx) { tx.Abort(1) })
+	}
+	close(stop)
+	wg.Wait()
+	s := th.Stats()
+	if s.Commits[PathFast] != 20000 || s.Aborts[PathMiddle][CauseExplicit] != 20000 {
+		t.Fatalf("stats = %+v, want 20000 fast commits and middle explicit aborts", s)
+	}
+}

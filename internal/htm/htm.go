@@ -80,6 +80,11 @@ type Config struct {
 	// Seed seeds the deterministic per-thread PRNGs used for spurious
 	// aborts. Zero selects a fixed default seed.
 	Seed uint64
+	// Backend selects the TM implementation (default BackendSim, the
+	// TL2-flavoured simulator). ReadCapacity, WriteCapacity and
+	// SpuriousEvery only apply to the simulator; BackendTLELock ignores
+	// them. For a custom Backend implementation use NewWithBackend.
+	Backend BackendKind
 }
 
 // withDefaults returns c with zero fields replaced by default values.
@@ -116,8 +121,13 @@ func POWER8Config() Config {
 // touch must be bound to that TM's clock before any non-transactional
 // mutation.
 type TM struct {
-	cfg   Config
-	clock Clock
+	cfg     Config
+	clock   Clock
+	backend Backend
+	// sim is true when backend is the built-in simulator: the
+	// transaction log uses it to keep per-access admission checks
+	// devirtualized (and inlinable) on the hot path.
+	sim bool
 
 	mu      sync.Mutex
 	threads []*Thread
@@ -126,8 +136,20 @@ type TM struct {
 // New creates a transactional memory instance with the given
 // configuration. Zero fields of cfg select defaults.
 func New(cfg Config) *TM {
-	return &TM{cfg: cfg.withDefaults()}
+	return NewWithBackend(cfg, NewBackend(cfg.Backend))
 }
+
+// NewWithBackend creates a transactional memory instance driven by a
+// caller-supplied Backend — the seam for plugging in a native hardware
+// backend (see the Backend docs). The backend must not be shared with
+// another TM unless its implementation allows it.
+func NewWithBackend(cfg Config, b Backend) *TM {
+	_, sim := b.(simBackend)
+	return &TM{cfg: cfg.withDefaults(), backend: b, sim: sim}
+}
+
+// Backend returns the backend driving this TM.
+func (tm *TM) Backend() Backend { return tm.backend }
 
 // Config returns the (defaulted) configuration of the TM.
 func (tm *TM) Config() Config { return tm.cfg }

@@ -15,7 +15,9 @@ const (
 	PathMiddle
 	PathFallback
 
-	numPaths = 4 // index space: 0 unused so the constants start at one
+	// NumPaths is the size of per-path counter arrays: index 0 is unused
+	// so the path constants can start at one.
+	NumPaths = 4
 )
 
 // String returns the paper's name for the path.
@@ -44,7 +46,8 @@ const (
 	CauseCapacity                   // read or write set exceeded capacity
 	CauseSpurious                   // injected best-effort failure
 
-	numCauses = 5
+	// NumCauses is the size of per-cause counter arrays.
+	NumCauses = 5
 )
 
 // String returns a short name for the cause.
@@ -75,14 +78,14 @@ type Abort struct {
 
 // Stats counts transaction outcomes per execution path.
 type Stats struct {
-	Commits [numPaths]uint64
-	Aborts  [numPaths][numCauses]uint64
+	Commits [NumPaths]uint64
+	Aborts  [NumPaths][NumCauses]uint64
 }
 
 func (s *Stats) add(o *Stats) {
-	for p := 0; p < numPaths; p++ {
+	for p := 0; p < NumPaths; p++ {
 		s.Commits[p] += atomic.LoadUint64(&o.Commits[p])
-		for c := 0; c < numCauses; c++ {
+		for c := 0; c < NumCauses; c++ {
 			s.Aborts[p][c] += atomic.LoadUint64(&o.Aborts[p][c])
 		}
 	}
@@ -92,9 +95,9 @@ func (s *Stats) add(o *Stats) {
 // atomics, so o must be a snapshot (e.g. a TM.Stats result), not a live
 // per-thread accumulator.
 func (s *Stats) Merge(o Stats) {
-	for p := 0; p < numPaths; p++ {
+	for p := 0; p < NumPaths; p++ {
 		s.Commits[p] += o.Commits[p]
-		for c := 0; c < numCauses; c++ {
+		for c := 0; c < NumCauses; c++ {
 			s.Aborts[p][c] += o.Aborts[p][c]
 		}
 	}
@@ -103,7 +106,7 @@ func (s *Stats) Merge(o Stats) {
 // TotalAborts returns the number of aborts on path p across all causes.
 func (s *Stats) TotalAborts(p PathKind) uint64 {
 	var n uint64
-	for c := 0; c < numCauses; c++ {
+	for c := 0; c < NumCauses; c++ {
 		n += s.Aborts[p][c]
 	}
 	return n
@@ -123,8 +126,15 @@ type Thread struct {
 // ID returns the thread's registration index within its TM.
 func (th *Thread) ID() int { return th.id }
 
-// Stats returns a snapshot of this thread's transaction statistics.
-func (th *Thread) Stats() Stats { return th.stats }
+// Stats returns a snapshot of this thread's transaction statistics. The
+// counters are read through the same atomic path the owning goroutine
+// writes them with, so a reporting goroutine may call this concurrently
+// with transaction activity.
+func (th *Thread) Stats() Stats {
+	var s Stats
+	s.add(&th.stats)
+	return s
+}
 
 // next returns the next value of the thread's splitmix64 PRNG.
 func (th *Thread) next() uint64 {
@@ -170,11 +180,23 @@ type Tx struct {
 // under.
 func (tx *Tx) Path() PathKind { return tx.path }
 
+// reset clears the transaction log for a new attempt. The snapshot (rv)
+// is established afterwards by the backend's Begin.
 func (tx *Tx) reset(path PathKind) {
-	tx.rv = tx.th.tm.clock.Now()
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.path = path
+}
+
+// drop forgets the logged accesses of an abandoned attempt. The write
+// set buffers ptr values and the per-thread Tx lives as long as the
+// thread, so the entries must be zeroed — not just truncated — or the
+// dead attempt would pin arbitrary nodes against reclamation.
+func (tx *Tx) drop() {
+	clear(tx.reads[:cap(tx.reads)])
+	clear(tx.writes[:cap(tx.writes)])
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
 }
 
 // Abort explicitly aborts the transaction with a user code, like the
@@ -218,48 +240,69 @@ func (tx *Tx) readVersion(ver *atomic.Uint64) uint64 {
 	}
 }
 
-func (tx *Tx) logRead(ver *atomic.Uint64, seen uint64) {
-	tx.maybeSpurious()
-	if len(tx.reads) >= tx.th.tm.cfg.ReadCapacity {
-		tx.abort(CauseCapacity)
+// admitRead vets a read-set append with the TM's backend. The simulator
+// is special-cased so the per-access hot path stays devirtualized.
+func (tx *Tx) admitRead() {
+	if tx.th.tm.sim {
+		tx.maybeSpurious()
+		if len(tx.reads) >= tx.th.tm.cfg.ReadCapacity {
+			tx.abort(CauseCapacity)
+		}
+		return
 	}
+	tx.th.tm.backend.Admit(tx, false, len(tx.reads))
+}
+
+// admitWrite is admitRead for the write set. n is the entry count the
+// access needs admitted: the set's size for an append, the entry's index
+// for an overwrite (which never grows the footprint, so it can only
+// abort spuriously).
+func (tx *Tx) admitWrite(n int) {
+	if tx.th.tm.sim {
+		tx.maybeSpurious()
+		if n >= tx.th.tm.cfg.WriteCapacity {
+			tx.abort(CauseCapacity)
+		}
+		return
+	}
+	tx.th.tm.backend.Admit(tx, true, n)
+}
+
+func (tx *Tx) logRead(ver *atomic.Uint64, seen uint64) {
+	tx.admitRead()
 	tx.reads = append(tx.reads, readEntry{ver: ver, seen: seen})
 }
 
 func (tx *Tx) logWrite(c cell, word uint64, ptr any, isPtr bool) {
-	tx.maybeSpurious()
 	for i := len(tx.writes) - 1; i >= 0; i-- {
 		if tx.writes[i].c == c {
 			if tx.writes[i].isAdd {
 				panic("htm: Set on a cell with a pending AddAtCommit")
 			}
+			tx.admitWrite(i)
 			tx.writes[i].word = word
 			tx.writes[i].ptr = ptr
 			return
 		}
 	}
-	if len(tx.writes) >= tx.th.tm.cfg.WriteCapacity {
-		tx.abort(CauseCapacity)
-	}
+	tx.admitWrite(len(tx.writes))
 	tx.writes = append(tx.writes, writeEntry{c: c, word: word, ptr: ptr, isPtr: isPtr})
 }
 
 // logAdd queues a commutative increment (see Word.AddAtCommit). Repeated
 // adds to the same cell accumulate; mixing with Set is unsupported.
 func (tx *Tx) logAdd(c cell, delta uint64) {
-	tx.maybeSpurious()
 	for i := len(tx.writes) - 1; i >= 0; i-- {
 		if tx.writes[i].c == c {
 			if !tx.writes[i].isAdd {
 				panic("htm: AddAtCommit on a cell already written in this transaction")
 			}
+			tx.admitWrite(i)
 			tx.writes[i].word += delta
 			return
 		}
 	}
-	if len(tx.writes) >= tx.th.tm.cfg.WriteCapacity {
-		tx.abort(CauseCapacity)
-	}
+	tx.admitWrite(len(tx.writes))
 	tx.writes = append(tx.writes, writeEntry{c: c, word: delta, isAdd: true})
 }
 
@@ -366,7 +409,9 @@ func (th *Thread) Atomic(path PathKind, fn func(tx *Tx)) (bool, Abort) {
 	th.inTx = true
 	tx := &th.tx
 	tx.reset(path)
+	th.tm.backend.Begin(tx)
 	cause, code := th.runTx(tx, fn)
+	th.tm.backend.End(tx, cause == CauseNone)
 	th.inTx = false
 	if cause == CauseNone {
 		atomic.AddUint64(&th.stats.Commits[path], 1)
@@ -382,6 +427,14 @@ func (th *Thread) runTx(tx *Tx, fn func(tx *Tx)) (cause AbortCause, code uint8) 
 		if r := recover(); r != nil {
 			a, ok := r.(txAbort)
 			if !ok {
+				// A foreign panic is unwinding the attempt past Atomic:
+				// tear the attempt down here, since Atomic's post-call
+				// code will never run. drop (rather than wait for the
+				// next reset) so the dead write set's ptr entries don't
+				// pin nodes against reclamation on a thread that never
+				// transacts again.
+				tx.drop()
+				th.tm.backend.End(tx, false)
 				th.inTx = false
 				panic(r)
 			}
@@ -389,5 +442,5 @@ func (th *Thread) runTx(tx *Tx, fn func(tx *Tx)) (cause AbortCause, code uint8) 
 		}
 	}()
 	fn(tx)
-	return tx.commit(), 0
+	return th.tm.backend.Commit(tx), 0
 }

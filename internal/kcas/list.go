@@ -98,6 +98,7 @@ var _ dict.Handle = (*ListHandle)(nil)
 func (l *List) NewHandle() dict.Handle {
 	h := &ListHandle{l: l, e: l.eng.NewThread(l.tm.NewThread())}
 	h.insertOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { l.insertTx(tx, h, false) },
 		Middle:   func(tx *htm.Tx) { l.insertTx(tx, h, true) },
 		Fallback: func() bool { return l.insertKCAS(h) },
@@ -105,6 +106,7 @@ func (l *List) NewHandle() dict.Handle {
 		SCXHTM:   func(bool) bool { return l.insertKCAS(h) },
 	}
 	h.deleteOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { l.deleteTx(tx, h, false) },
 		Middle:   func(tx *htm.Tx) { l.deleteTx(tx, h, true) },
 		Fallback: func() bool { return l.deleteKCAS(h) },
@@ -112,6 +114,7 @@ func (l *List) NewHandle() dict.Handle {
 		SCXHTM:   func(bool) bool { return l.deleteKCAS(h) },
 	}
 	h.searchOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { l.searchBody(h) },
 		Middle:   func(tx *htm.Tx) { l.searchBody(h) },
 		Fallback: func() bool { l.searchBody(h); return true },
@@ -119,6 +122,7 @@ func (l *List) NewHandle() dict.Handle {
 		SCXHTM:   func(bool) bool { l.searchBody(h); return true },
 	}
 	h.rqOp = engine.Op{
+		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { l.rqTx(tx, h) },
 		Middle:   func(tx *htm.Tx) { l.rqTx(tx, h) },
 		Fallback: func() bool { l.rqPlain(h); return true },

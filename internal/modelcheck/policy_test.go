@@ -1,0 +1,167 @@
+package modelcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"htmtree"
+)
+
+// TestDifferentialPoliciesAndBackends runs the lockstep differential
+// under every retry policy × TM backend combination, with injected
+// spurious aborts and tiny attempt budgets so the policies actually
+// steer (free retries, capacity skips and demotions all fire inside
+// the checked stream). Correctness must be policy- and
+// backend-independent: the policy only chooses where an operation
+// runs, never what it does.
+func TestDifferentialPoliciesAndBackends(t *testing.T) {
+	t.Parallel()
+	const (
+		keySpan = 512
+		numOps  = 3000
+	)
+	for _, structure := range []string{"bst", "abtree"} {
+		for _, policy := range htmtree.Policies() {
+			for _, backend := range htmtree.TMBackends() {
+				structure, policy, backend := structure, policy, backend
+				t.Run(fmt.Sprintf("%s/%s/%s", structure, policy, backend), func(t *testing.T) {
+					t.Parallel()
+					cfg := htmtree.Config{
+						Algorithm:          htmtree.ThreePath,
+						RetryPolicy:        policy,
+						TMBackend:          backend,
+						SpuriousAbortEvery: 5,
+						FastLimit:          2,
+						MiddleLimit:        2,
+					}
+					var (
+						tree *htmtree.Tree
+						err  error
+					)
+					if structure == "bst" {
+						tree, err = htmtree.NewBST(cfg)
+					} else {
+						tree, err = htmtree.NewABTree(cfg)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					h := tree.NewHandle()
+					model := NewModel()
+					rng := rand.New(rand.NewSource(0xabc))
+					for i := 0; i < numOps; i++ {
+						k := uint64(rng.Intn(keySpan)) + 1
+						switch rng.Intn(6) {
+						case 0, 1, 2:
+							v := uint64(rng.Intn(1 << 30))
+							old, existed := h.Insert(k, v)
+							wantOld, wantEx := model.Insert(k, v)
+							if existed != wantEx || (existed && old != wantOld) {
+								t.Fatalf("op %d Insert(%d,%d) = (%d,%v), model (%d,%v)",
+									i, k, v, old, existed, wantOld, wantEx)
+							}
+						case 3, 4:
+							old, existed := h.Delete(k)
+							wantOld, wantEx := model.Delete(k)
+							if existed != wantEx || (existed && old != wantOld) {
+								t.Fatalf("op %d Delete(%d) = (%d,%v), model (%d,%v)",
+									i, k, old, existed, wantOld, wantEx)
+							}
+						default:
+							got, found := h.Search(k)
+							want, ok := model.Search(k)
+							if found != ok || (found && got != want) {
+								t.Fatalf("op %d Search(%d) = (%d,%v), model (%d,%v)",
+									i, k, got, found, want, ok)
+							}
+						}
+					}
+					sum, count := tree.KeySum()
+					wantSum, wantCount := model.KeySum()
+					if sum != wantSum || count != wantCount {
+						t.Fatalf("KeySum = (%d,%d), model (%d,%d)", sum, count, wantSum, wantCount)
+					}
+					if err := tree.CheckInvariants(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConcurrentKeySumPoliciesAndBackends is the concurrent counterpart:
+// goroutines hammer one tree per policy × backend combo under spurious
+// aborts, and the final key-sum must match the threads' accounting.
+// For the tle-lock backend this doubles as a serialization check (every
+// transactional path of the tree funnels through one mutex while the
+// lock-free fallback path bypasses it).
+func TestConcurrentKeySumPoliciesAndBackends(t *testing.T) {
+	t.Parallel()
+	const (
+		goroutines = 4
+		keySpan    = 256
+	)
+	opsPerG := 2500
+	if testing.Short() {
+		opsPerG = 600
+	}
+	for _, policy := range htmtree.Policies() {
+		for _, backend := range htmtree.TMBackends() {
+			policy, backend := policy, backend
+			t.Run(fmt.Sprintf("%s/%s", policy, backend), func(t *testing.T) {
+				t.Parallel()
+				tree, err := htmtree.NewBST(htmtree.Config{
+					Algorithm:          htmtree.ThreePath,
+					RetryPolicy:        policy,
+					TMBackend:          backend,
+					SpuriousAbortEvery: 3,
+					FastLimit:          1,
+					MiddleLimit:        1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				sums := make([]int64, goroutines)
+				counts := make([]int64, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						h := tree.NewHandle()
+						for i := 0; i < opsPerG; i++ {
+							k := uint64((g*7919+i*31)%keySpan) + 1
+							if i%3 == 2 {
+								if _, existed := h.Delete(k); existed {
+									sums[g] -= int64(k)
+									counts[g]--
+								}
+							} else {
+								if _, existed := h.Insert(k, k); !existed {
+									sums[g] += int64(k)
+									counts[g]++
+								}
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				var wantSum, wantCount int64
+				for g := range sums {
+					wantSum += sums[g]
+					wantCount += counts[g]
+				}
+				sum, count := tree.KeySum()
+				if int64(sum) != wantSum || int64(count) != wantCount {
+					t.Fatalf("key-sum (%d,%d), threads (%d,%d)", sum, count, wantSum, wantCount)
+				}
+				if err := tree.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -486,10 +486,7 @@ func (d *Dict) OpStats() engine.OpStats {
 	var agg engine.OpStats
 	for _, s := range d.shards {
 		if sp, ok := s.(statsSource); ok {
-			os := sp.OpStats()
-			agg.Fast += os.Fast
-			agg.Middle += os.Middle
-			agg.Fallback += os.Fallback
+			agg.Merge(sp.OpStats())
 		}
 	}
 	return agg

@@ -45,6 +45,9 @@ type Spec struct {
 	RebalanceRatio    float64
 	// HTM overrides the simulated-HTM configuration.
 	HTM htm.Config
+	// Policy selects the engine retry policy by name ("" or "adaptive",
+	// "static"); see engine.ParsePolicy.
+	Policy string
 }
 
 // Name returns a compact label, e.g. "abtree/3-path/x8" or
@@ -71,19 +74,23 @@ func (s Spec) Name() string {
 // drivers, not end users).
 func (s Spec) New() dict.Dict {
 	mk := func(mon *engine.UpdateMonitor) dict.Dict {
+		pol, ok := engine.ParsePolicy(s.Policy)
+		if !ok {
+			panic(fmt.Sprintf("workload: unknown retry policy %q", s.Policy))
+		}
 		switch s.Structure {
 		case "bst":
 			return bst.New(bst.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
-				Engine:          engine.Config{Monitor: mon},
+				Engine:          engine.Config{Monitor: mon, Policy: pol},
 				HTM:             s.HTM,
 			})
 		case "abtree":
 			return abtree.New(abtree.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
-				Engine:          engine.Config{Monitor: mon},
+				Engine:          engine.Config{Monitor: mon, Policy: pol},
 				HTM:             s.HTM,
 			})
 		default:
