@@ -2,8 +2,10 @@ package htmtree_test
 
 import (
 	"testing"
+	"time"
 
 	"htmtree"
+	"htmtree/internal/hist"
 )
 
 // Allocation-regression gate (PR 5 acceptance): steady-state point
@@ -84,4 +86,37 @@ func TestAllocGateABTreePointOps(t *testing.T) {
 	gateCheck(t, "abtree search", testing.AllocsPerRun(200, func() {
 		h.Search(k)
 	}))
+}
+
+// TestAllocGateLatencyCapture gates the PR 7 latency instrumentation:
+// the per-operation capture the workload driver performs under
+// MeasureLatency — a clock read, the operation, a histogram Record —
+// must not allocate, or measuring latency would distort the very tail
+// it measures with GC pauses.
+func TestAllocGateLatencyCapture(t *testing.T) {
+	tree, err := htmtree.NewBST(htmtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tree.NewHandle()
+	for k := uint64(1); k <= gateKeys; k++ {
+		h.Insert(k, k)
+	}
+	k := uint64(gateKeys / 2)
+	var lh hist.Hist
+	for i := 0; i < gateWarmups; i++ {
+		t0 := time.Now()
+		h.Delete(k)
+		h.Insert(k, k)
+		lh.Record(uint64(time.Since(t0)))
+	}
+	gateCheck(t, "latencied delete+insert", testing.AllocsPerRun(200, func() {
+		t0 := time.Now()
+		h.Delete(k)
+		h.Insert(k, k)
+		lh.Record(uint64(time.Since(t0)))
+	}))
+	if lh.Count() == 0 || lh.Quantile(0.99) == 0 {
+		t.Fatal("capture recorded nothing")
+	}
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"htmtree/internal/hist"
+)
+
+// schemaVersion stamps every CSV row (first column) and JSON row
+// ("schema" field). Bump it whenever a column or field changes meaning,
+// so committed BENCH_*.json baselines and scraped CSV stay diffable
+// across repository revisions.
+//
+// v2: uniform CSV column set across all experiments (one header for the
+// whole run, experiment-specific counters folded into the extras
+// column) and latency quantile columns; JSON rows gain schema,
+// p50/p99/p999 and the policy "helps" counter.
+const schemaVersion = 2
+
+// csvHeader prints the single uniform header every experiment's rows
+// share. Before v2 each experiment printed its own ad-hoc column set,
+// so concatenated output could not be parsed as one table and columns
+// like the abortpolicy action counters existed in some tables and not
+// others; now every row has exactly these columns, with columns that an
+// experiment does not measure left empty and its specific counters
+// carried in extras as ordered semicolon-separated key=value pairs
+// (each experiment's legend comment names its keys).
+func csvHeader() {
+	fmt.Printf("# htmbench CSV schema v%d\n", schemaVersion)
+	fmt.Println("schema,experiment,structure,workload,algorithm,threads,shards,throughput,p50_ns,p99_ns,p999_ns,extras")
+}
+
+// row is one uniform CSV record.
+type row struct {
+	experiment string
+	structure  string
+	workload   string // "light"/"heavy", or empty when not applicable
+	algorithm  string
+	threads    int
+	shards     int
+	throughput float64    // 0 leaves the column empty (not measured)
+	lat        *hist.Hist // nil leaves the quantile columns empty
+	extras     []string   // ordered "key=value" pairs
+}
+
+func (r row) emit() {
+	tput := ""
+	if r.throughput > 0 {
+		tput = fmt.Sprintf("%.0f", r.throughput)
+	}
+	p50, p99, p999 := "", "", ""
+	if r.lat != nil && r.lat.Count() > 0 {
+		p50 = fmt.Sprintf("%d", r.lat.Quantile(0.5))
+		p99 = fmt.Sprintf("%d", r.lat.Quantile(0.99))
+		p999 = fmt.Sprintf("%d", r.lat.Quantile(0.999))
+	}
+	fmt.Printf("%d,%s,%s,%s,%s,%d,%d,%s,%s,%s,%s,%s\n",
+		schemaVersion, r.experiment, r.structure, r.workload, r.algorithm,
+		r.threads, r.shards, tput, p50, p99, p999, strings.Join(r.extras, ";"))
+}
+
+// kv formats one extras entry.
+func kv(key string, format string, v ...any) string {
+	return key + "=" + fmt.Sprintf(format, v...)
+}

@@ -17,6 +17,9 @@ import (
 // repository is the sequence of these files, produced by
 // `htmbench -format json` on a fixed host.
 type jsonRow struct {
+	// Schema is the output schema version (csv.go's schemaVersion):
+	// rows with different stamps must not be diffed field-by-field.
+	Schema int `json:"schema"`
 	// Name identifies the experiment: structure/workload/xShards.
 	Name string `json:"name"`
 	// Throughput is completed operations per second over all threads.
@@ -30,6 +33,13 @@ type jsonRow struct {
 	// cycle, the pooled hot path). Zero means the allocation-free hot
 	// path is intact.
 	AllocsOp float64 `json:"allocs_op"`
+	// P50Ns/P99Ns/P999Ns are per-operation update latency quantiles
+	// (nanoseconds, ~3% bucket quantization) from the trial's per-thread
+	// histogram capture; the heavy workloads' dedicated range-query
+	// thread is excluded, so the columns are comparable across kinds.
+	P50Ns  uint64 `json:"p50_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	P999Ns uint64 `json:"p999_ns"`
 	// Paths counts operation completions per execution path during the
 	// throughput trial.
 	Paths map[string]uint64 `json:"paths"`
@@ -77,6 +87,7 @@ func policyMap(ps engine.PolicyStats) map[string]uint64 {
 	put("free_retries", ps.FreeRetries)
 	put("capacity_skips", ps.CapacitySkips)
 	put("demotions", ps.Demotions)
+	put("helps", ps.Helps)
 	return m
 }
 
@@ -108,16 +119,21 @@ func jsonExperiments(o options) error {
 					Policy:    o.policy,
 				}
 				med, res := trial(o, spec.New, workload.Config{
-					Threads:   n,
-					Duration:  o.duration,
-					KeyRange:  ds.keyRange,
-					RQSizeMax: ds.rqMax,
-					Kind:      kind,
+					Threads:        n,
+					Duration:       o.duration,
+					KeyRange:       ds.keyRange,
+					RQSizeMax:      ds.rqMax,
+					Kind:           kind,
+					MeasureLatency: true,
 				})
 				row := jsonRow{
+					Schema:     schemaVersion,
 					Name:       fmt.Sprintf("%s/%s/x%d", ds.structure, kind, sh),
 					Throughput: med,
 					AllocsOp:   steadyStateAllocs(spec),
+					P50Ns:      res.Latency.Quantile(0.5),
+					P99Ns:      res.Latency.Quantile(0.99),
+					P999Ns:     res.Latency.Quantile(0.999),
 					Paths: map[string]uint64{
 						"fast":     res.PathStats.Fast,
 						"middle":   res.PathStats.Middle,

@@ -31,12 +31,25 @@
 //	                      heavy abort profiles, with per-cause abort and
 //	                      policy-action counters (beyond the paper: the
 //	                      abort-taxonomy-driven path policy)
+//	-experiment oversub   tail latency with threads > GOMAXPROCS: the
+//	                      classic TLE fallback lock vs the helpable
+//	                      lock-free lock, p50/p99/p999 per variant
+//	                      (beyond the paper: the lock-free-locks
+//	                      fallback)
 //	-experiment all       everything above
+//
+// Every experiment emits rows of one uniform, version-stamped CSV
+// schema (see csv.go): a single header covers the whole run, and
+// experiment-specific counters ride in the final extras column as
+// key=value pairs.
 //
 // -format json replaces the CSV tables with the machine-readable
 // baseline suite: one JSON row per structure x workload x shard-count
-// with throughput, thread-ns/op, steady-state allocs/op and per-path
-// operation counts — the schema of the committed BENCH_*.json files.
+// with throughput, thread-ns/op, steady-state allocs/op, latency
+// quantiles and per-path operation counts — the schema of the
+// committed BENCH_*.json files. With `-experiment oversub` the JSON
+// output is instead the oversubscription artifact: both fallback
+// variants with their full latency histograms embedded.
 //
 // -experiment also accepts a comma-separated list (e.g.
 // "skew,rqconsistency"). The -shards flag partitions every tree in the
@@ -113,7 +126,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|skew|batchamortize|abortpolicy, or all")
+		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|skew|batchamortize|abortpolicy|oversub, or all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -165,10 +178,6 @@ func run() error {
 		o.threads = append(o.threads, n)
 	}
 
-	if o.format == "json" {
-		return jsonExperiments(o)
-	}
-
 	var exps []string
 	for _, e := range strings.Split(o.experiment, ",") {
 		e = strings.TrimSpace(e)
@@ -178,7 +187,7 @@ func run() error {
 		if e == "all" {
 			exps = append(exps, "fig14", "fig16", "fig17", "pathusage", "sec8",
 				"sec10", "headline", "shardscale", "rqconsistency", "skew",
-				"batchamortize", "abortpolicy")
+				"batchamortize", "abortpolicy", "oversub")
 			continue
 		}
 		exps = append(exps, e)
@@ -189,11 +198,20 @@ func run() error {
 		switch e {
 		case "fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
 			"headline", "shardscale", "rqconsistency", "skew", "batchamortize",
-			"abortpolicy":
+			"abortpolicy", "oversub":
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
 	}
+
+	if o.format == "json" {
+		if len(exps) == 1 && exps[0] == "oversub" {
+			return oversubJSON(o)
+		}
+		return jsonExperiments(o)
+	}
+
+	csvHeader()
 	for _, e := range exps {
 		switch e {
 		case "fig14":
@@ -220,6 +238,8 @@ func run() error {
 			batchAmortize(o)
 		case "abortpolicy":
 			abortPolicy(o)
+		case "oversub":
+			oversub(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -311,7 +331,6 @@ func trial(o options, mk func() dict.Dict, cfg workload.Config) (float64, worklo
 
 func fig14(o options) {
 	fmt.Println("# Figure 14/15: throughput (ops/sec) vs threads")
-	fmt.Println("figure,structure,workload,algorithm,threads,throughput")
 	for _, spec := range specs(o) {
 		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
 			for _, alg := range figureAlgorithms(o.allAlgs) {
@@ -328,7 +347,9 @@ func fig14(o options) {
 							RQSizeMax: spec.rqMax,
 							Kind:      kind,
 						})
-					fmt.Printf("fig14,%s,%s,%s,%d,%.0f\n", spec.name, kind, alg, n, med)
+					row{experiment: "fig14", structure: spec.name, workload: kind.String(),
+						algorithm: alg.String(), threads: n, shards: o.shards,
+						throughput: med}.emit()
 				}
 			}
 		}
@@ -338,7 +359,7 @@ func fig14(o options) {
 func fig16(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Println("# Figure 16: transaction commit/abort rates (max threads)")
-	fmt.Println("structure,workload,algorithm,path,commits,aborts,abort_conflict,abort_capacity,abort_explicit,abort_spurious")
+	fmt.Println("# extras: path, commits, aborts, abort_conflict, abort_capacity, abort_explicit, abort_spurious")
 	for _, spec := range specs(o) {
 		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
 			for _, alg := range []engine.Algorithm{engine.AlgTLE, engine.AlgTwoPathConc, engine.AlgThreePath} {
@@ -355,13 +376,17 @@ func fig16(o options) {
 					if hs.Commits[p] == 0 && hs.TotalAborts(p) == 0 {
 						continue
 					}
-					fmt.Printf("%s,%s,%s,%s,%d,%d,%d,%d,%d,%d\n",
-						spec.name, kind, alg, p,
-						hs.Commits[p], hs.TotalAborts(p),
-						hs.Aborts[p][htm.CauseConflict],
-						hs.Aborts[p][htm.CauseCapacity],
-						hs.Aborts[p][htm.CauseExplicit],
-						hs.Aborts[p][htm.CauseSpurious])
+					row{experiment: "fig16", structure: spec.name, workload: kind.String(),
+						algorithm: alg.String(), threads: n, shards: o.shards,
+						extras: []string{
+							kv("path", "%s", p),
+							kv("commits", "%d", hs.Commits[p]),
+							kv("aborts", "%d", hs.TotalAborts(p)),
+							kv("abort_conflict", "%d", hs.Aborts[p][htm.CauseConflict]),
+							kv("abort_capacity", "%d", hs.Aborts[p][htm.CauseCapacity]),
+							kv("abort_explicit", "%d", hs.Aborts[p][htm.CauseExplicit]),
+							kv("abort_spurious", "%d", hs.Aborts[p][htm.CauseSpurious]),
+						}}.emit()
 				}
 			}
 		}
@@ -370,7 +395,6 @@ func fig16(o options) {
 
 func fig17(o options) {
 	fmt.Println("# Figure 17: BST light workload incl. Hybrid NOrec")
-	fmt.Println("structure,workload,algorithm,threads,throughput")
 	series := []struct {
 		name string
 		mk   func() dict.Dict
@@ -386,7 +410,8 @@ func fig17(o options) {
 			med, _ := trial(o, s.mk, workload.Config{
 				Threads: n, Duration: o.duration, KeyRange: o.bstKeys, Kind: workload.Light,
 			})
-			fmt.Printf("fig17,bst-light,%s,%d,%.0f\n", s.name, n, med)
+			row{experiment: "fig17", structure: "bst", workload: "light",
+				algorithm: s.name, threads: n, shards: 1, throughput: med}.emit()
 		}
 	}
 }
@@ -394,7 +419,7 @@ func fig17(o options) {
 func pathUsage(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Println("# Section 7.2: operations completed per path (3-path, max threads)")
-	fmt.Println("structure,workload,fast_pct,middle_pct,fallback_pct")
+	fmt.Println("# extras: fast_pct, middle_pct, fallback_pct")
 	for _, spec := range specs(o) {
 		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
 			if kind == workload.Heavy && n < 2 {
@@ -407,9 +432,13 @@ func pathUsage(o options) {
 				})
 			ps := res.PathStats
 			tot := float64(ps.Total())
-			fmt.Printf("%s,%s,%.2f,%.2f,%.2f\n", spec.name, kind,
-				100*float64(ps.Fast)/tot, 100*float64(ps.Middle)/tot,
-				100*float64(ps.Fallback)/tot)
+			row{experiment: "pathusage", structure: spec.name, workload: kind.String(),
+				algorithm: "3-path", threads: n, shards: o.shards,
+				extras: []string{
+					kv("fast_pct", "%.2f", 100*float64(ps.Fast)/tot),
+					kv("middle_pct", "%.2f", 100*float64(ps.Middle)/tot),
+					kv("fallback_pct", "%.2f", 100*float64(ps.Fallback)/tot),
+				}}.emit()
 		}
 	}
 }
@@ -417,7 +446,7 @@ func pathUsage(o options) {
 func sec8(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Println("# Section 8: searches outside transactions (3-path, light workload)")
-	fmt.Println("structure,htm_profile,search_in_tx,search_outside_tx,gain_pct")
+	fmt.Println("# extras: htm_profile, search_outside_tx, gain_pct (on the outside-tx row)")
 	for _, spec := range specs(o) {
 		for _, profile := range []struct {
 			name string
@@ -427,8 +456,18 @@ func sec8(o options) {
 				workload.Config{Threads: n, Duration: o.duration, KeyRange: spec.keyRange, Kind: workload.Light})
 			outTx, _ := trial(o, func() dict.Dict { return spec.make(engine.AlgThreePath, true, profile.cfg) },
 				workload.Config{Threads: n, Duration: o.duration, KeyRange: spec.keyRange, Kind: workload.Light})
-			fmt.Printf("%s,%s,%.0f,%.0f,%.1f\n", spec.name, profile.name, inTx, outTx,
-				100*(outTx-inTx)/inTx)
+			base := row{experiment: "sec8", structure: spec.name, workload: "light",
+				algorithm: "3-path", threads: n, shards: o.shards}
+			in, out := base, base
+			in.throughput = inTx
+			in.extras = []string{kv("htm_profile", "%s", profile.name),
+				kv("search_outside_tx", "%d", 0)}
+			out.throughput = outTx
+			out.extras = []string{kv("htm_profile", "%s", profile.name),
+				kv("search_outside_tx", "%d", 1),
+				kv("gain_pct", "%.1f", 100*(outTx-inTx)/inTx)}
+			in.emit()
+			out.emit()
 		}
 	}
 }
@@ -436,18 +475,19 @@ func sec8(o options) {
 func sec10(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Println("# Section 10: accelerating RCU (CITRUS) and k-CAS (list)")
-	fmt.Println("structure,algorithm,threads,throughput")
 	for _, alg := range []engine.Algorithm{engine.AlgNonHTM, engine.AlgThreePath} {
 		alg := alg
 		med, _ := trial(o, func() dict.Dict { return citrus.New(citrus.Config{Algorithm: alg}) },
 			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.bstKeys, Kind: workload.Light})
-		fmt.Printf("citrus,%s,%d,%.0f\n", alg, n, med)
+		row{experiment: "sec10", structure: "citrus", workload: "light",
+			algorithm: alg.String(), threads: n, shards: 1, throughput: med}.emit()
 	}
 	for _, alg := range []engine.Algorithm{engine.AlgNonHTM, engine.AlgThreePath} {
 		alg := alg
 		med, _ := trial(o, func() dict.Dict { return kcas.NewList(kcas.ListConfig{Algorithm: alg}) },
 			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.listKeys, Kind: workload.Light})
-		fmt.Printf("kcas-list,%s,%d,%.0f\n", alg, n, med)
+		row{experiment: "sec10", structure: "kcas-list", workload: "light",
+			algorithm: alg.String(), threads: n, shards: 1, throughput: med}.emit()
 	}
 }
 
@@ -459,7 +499,7 @@ func sec10(o options) {
 func shardScale(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Println("# Shard scaling: throughput vs shard count (3-path, max threads)")
-	fmt.Println("structure,workload,shards,threads,pinned,throughput,speedup_vs_1")
+	fmt.Println("# extras: pinned, speedup_vs_1")
 	for _, ds := range specs(o) {
 		for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
 			if kind == workload.Heavy && n < 2 {
@@ -499,8 +539,13 @@ func shardScale(o options) {
 					if pinned {
 						pin = 1
 					}
-					fmt.Printf("%s,%s,%d,%d,%d,%.0f,%.2f\n",
-						ds.structure, kind, shards, n, pin, med, speedup)
+					row{experiment: "shardscale", structure: ds.structure,
+						workload: kind.String(), algorithm: "3-path",
+						threads: n, shards: shards, throughput: med,
+						extras: []string{
+							kv("pinned", "%d", pin),
+							kv("speedup_vs_1", "%.2f", speedup),
+						}}.emit()
 				}
 			}
 		}
@@ -530,7 +575,7 @@ func skew(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Printf("# Skew: shard routing under Zipfian updates (3-path, %d shards, theta %.2f, light workload)\n",
 		shards, theta)
-	fmt.Println("structure,router,shards,threads,throughput,speedup_vs_range,max_shard_share,migrations,keys_moved")
+	fmt.Println("# extras: router, speedup_vs_range, max_shard_share, migrations, keys_moved")
 	for _, ds := range specs(o) {
 		var base float64
 		for _, router := range []string{"range", "hash", "adaptive"} {
@@ -561,9 +606,15 @@ func skew(o options) {
 			if base > 0 {
 				speedup = med / base
 			}
-			fmt.Printf("%s,%s,%d,%d,%.0f,%.2f,%.3f,%d,%d\n",
-				ds.structure, router, shards, n, med, speedup,
-				res.MaxShardShare, res.Rebalance.Migrations, res.Rebalance.KeysMoved)
+			row{experiment: "skew", structure: ds.structure, workload: "light",
+				algorithm: "3-path", threads: n, shards: shards, throughput: med,
+				extras: []string{
+					kv("router", "%s", router),
+					kv("speedup_vs_range", "%.2f", speedup),
+					kv("max_shard_share", "%.3f", res.MaxShardShare),
+					kv("migrations", "%d", res.Rebalance.Migrations),
+					kv("keys_moved", "%d", res.Rebalance.KeysMoved),
+				}}.emit()
 		}
 	}
 }
@@ -588,7 +639,7 @@ func batchAmortize(o options) {
 	}
 	n := o.threads[len(o.threads)-1]
 	fmt.Printf("# Batch amortization: batched vs unbatched updates (3-path, %d shards, light workload)\n", shards)
-	fmt.Println("structure,shards,threads,batch,throughput,speedup_vs_unbatched,groups,ops_per_group,ops_per_router_lookup,ops_per_monitor_bracket")
+	fmt.Println("# extras: batch, speedup_vs_unbatched, groups, ops_per_group, ops_per_router_lookup, ops_per_monitor_bracket")
 	for _, ds := range specs(o) {
 		var base float64
 		for _, b := range []int{1, 8, 16, 32, 64, 128} {
@@ -625,10 +676,17 @@ func batchAmortize(o options) {
 				}
 				return float64(res.Batch.Ops) / float64(den)
 			}
-			fmt.Printf("%s,%d,%d,%d,%.0f,%.2f,%d,%.1f,%.1f,%.1f\n",
-				ds.structure, shards, n, b, med, speedup,
-				res.Batch.Groups, opsPer(res.Batch.Groups),
-				opsPer(res.Batch.RouterLookups), opsPer(res.Batch.MonitorEnters))
+			row{experiment: "batchamortize", structure: ds.structure,
+				workload: "light", algorithm: "3-path",
+				threads: n, shards: shards, throughput: med,
+				extras: []string{
+					kv("batch", "%d", b),
+					kv("speedup_vs_unbatched", "%.2f", speedup),
+					kv("groups", "%d", res.Batch.Groups),
+					kv("ops_per_group", "%.1f", opsPer(res.Batch.Groups)),
+					kv("ops_per_router_lookup", "%.1f", opsPer(res.Batch.RouterLookups)),
+					kv("ops_per_monitor_bracket", "%.1f", opsPer(res.Batch.MonitorEnters)),
+				}}.emit()
 		}
 	}
 }
@@ -653,7 +711,7 @@ func abortPolicy(o options) {
 		spuriousEvery = 50
 	}
 	fmt.Println("# Abort policy: static vs adaptive retry under three abort profiles (3-path, max threads)")
-	fmt.Println("structure,profile,policy,threads,throughput,ops,aborts_per_op,hw_aborts_per_op,abort_conflict,abort_capacity,abort_explicit,abort_spurious,backoffs,free_retries,capacity_skips,demotions")
+	fmt.Println("# extras: profile, policy, ops, aborts_per_op, hw_aborts_per_op, abort_conflict, abort_capacity, abort_explicit, abort_spurious, backoffs, free_retries, capacity_skips, demotions, helps")
 	profiles := []struct {
 		name string
 		hc   htm.Config
@@ -703,12 +761,25 @@ func abortPolicy(o options) {
 					hw := cause(htm.CauseConflict) + cause(htm.CauseCapacity) + cause(htm.CauseSpurious)
 					hwPerOp = float64(hw) / float64(ops)
 				}
-				fmt.Printf("%s,%s,%s,%d,%.0f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d\n",
-					ds.name, prof.name, policy, n, med, ops, perOp, hwPerOp,
-					cause(htm.CauseConflict), cause(htm.CauseCapacity),
-					cause(htm.CauseExplicit), cause(htm.CauseSpurious),
-					ps.Policy.Backoffs, ps.Policy.FreeRetries,
-					ps.Policy.CapacitySkips, ps.Policy.Demotions)
+				row{experiment: "abortpolicy", structure: ds.name,
+					workload: prof.kind.String(), algorithm: "3-path",
+					threads: n, shards: o.shards, throughput: med,
+					extras: []string{
+						kv("profile", "%s", prof.name),
+						kv("policy", "%s", policy),
+						kv("ops", "%d", ops),
+						kv("aborts_per_op", "%.3f", perOp),
+						kv("hw_aborts_per_op", "%.3f", hwPerOp),
+						kv("abort_conflict", "%d", cause(htm.CauseConflict)),
+						kv("abort_capacity", "%d", cause(htm.CauseCapacity)),
+						kv("abort_explicit", "%d", cause(htm.CauseExplicit)),
+						kv("abort_spurious", "%d", cause(htm.CauseSpurious)),
+						kv("backoffs", "%d", ps.Policy.Backoffs),
+						kv("free_retries", "%d", ps.Policy.FreeRetries),
+						kv("capacity_skips", "%d", ps.Policy.CapacitySkips),
+						kv("demotions", "%d", ps.Policy.Demotions),
+						kv("helps", "%d", ps.Policy.Helps),
+					}}.emit()
 			}
 		}
 	}
@@ -733,7 +804,7 @@ func rqConsistency(o options) {
 	}
 	fmt.Println("# RQ consistency: atomic cross-shard range queries under increasing update load")
 	fmt.Printf("# 3-path, %d shards; each row: updaters u + 1 range-query thread\n", shards)
-	fmt.Println("structure,shards,updaters,updates_per_sec,rqs_per_sec,rq_attempts,rq_retries,rq_escalations,retries_per_rq")
+	fmt.Println("# extras: updaters, updates_per_sec, rqs_per_sec, rq_attempts, rq_retries, rq_escalations, retries_per_rq")
 	for _, ds := range specs(o) {
 		keyRange := ds.keyRange
 		width := keyRange / uint64(shards)
@@ -821,10 +892,17 @@ func rqConsistency(o options) {
 			if med.rqs > 0 {
 				retPerRQ = float64(med.stats.Retries) / float64(med.rqs)
 			}
-			fmt.Printf("%s,%d,%d,%.0f,%.0f,%d,%d,%d,%.3f\n",
-				ds.structure, shards, u,
-				float64(med.updates)/secs, float64(med.rqs)/secs,
-				med.stats.Attempts, med.stats.Retries, med.stats.Escalations, retPerRQ)
+			row{experiment: "rqconsistency", structure: ds.structure,
+				algorithm: "3-path", threads: n, shards: shards,
+				extras: []string{
+					kv("updaters", "%d", u),
+					kv("updates_per_sec", "%.0f", float64(med.updates)/secs),
+					kv("rqs_per_sec", "%.0f", float64(med.rqs)/secs),
+					kv("rq_attempts", "%d", med.stats.Attempts),
+					kv("rq_retries", "%d", med.stats.Retries),
+					kv("rq_escalations", "%d", med.stats.Escalations),
+					kv("retries_per_rq", "%.3f", retPerRQ),
+				}}.emit()
 		}
 	}
 }
@@ -832,7 +910,7 @@ func rqConsistency(o options) {
 func headline(o options) {
 	n := o.threads[len(o.threads)-1]
 	fmt.Println("# Headline: (a,b)-tree, 3-path vs non-htm (paper: 4.0-4.2x at 72 threads)")
-	fmt.Println("workload,non_htm,three_path,ratio")
+	fmt.Println("# extras: ratio_vs_non_htm (on the 3-path row); a trailing comment gives the average")
 	var ratios []float64
 	for _, kind := range []workload.Kind{workload.Light, workload.Heavy} {
 		if kind == workload.Heavy && n < 2 {
@@ -844,11 +922,15 @@ func headline(o options) {
 			workload.Config{Threads: n, Duration: o.duration, KeyRange: o.abKeys, RQSizeMax: 10000, Kind: kind})
 		r := acc / base
 		ratios = append(ratios, r)
-		fmt.Printf("%s,%.0f,%.0f,%.2f\n", kind, base, acc, r)
+		row{experiment: "headline", structure: "abtree", workload: kind.String(),
+			algorithm: "non-htm", threads: n, shards: 1, throughput: base}.emit()
+		row{experiment: "headline", structure: "abtree", workload: kind.String(),
+			algorithm: "3-path", threads: n, shards: 1, throughput: acc,
+			extras: []string{kv("ratio_vs_non_htm", "%.2f", r)}}.emit()
 	}
 	var avg float64
 	for _, r := range ratios {
 		avg += r
 	}
-	fmt.Printf("average,,,%.2f\n", avg/float64(len(ratios)))
+	fmt.Printf("# headline average ratio: %.2f\n", avg/float64(len(ratios)))
 }

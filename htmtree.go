@@ -174,6 +174,19 @@ type Config struct {
 	// UseSNZI replaces the fallback-presence counter with a scalable
 	// non-zero indicator.
 	UseSNZI bool
+	// HelpableFallback replaces the TLE fallback's classic spin lock
+	// with a helpable lock: a fallback operation announces itself as a
+	// descriptor before taking the lock word, and any thread that finds
+	// the word held completes the announced operation instead of
+	// spinning — so a preempted lock holder no longer stalls every other
+	// thread (the lock-free-locks construction). TLE algorithm only;
+	// ignored by the others, whose fallbacks are already lock-free.
+	HelpableFallback bool
+	// PreemptFallbackPoint, when non-nil, is called once by each
+	// fallback operation immediately after it acquires (or, with
+	// HelpableFallback, announces under) the fallback lock — a
+	// scheduling-perturbation hook for oversubscription stress tests.
+	PreemptFallbackPoint func()
 	// SearchOutsideTx enables the Section 8 optimization: operations
 	// locate their target with unsubscribed reads and revalidate inside
 	// the transaction.
@@ -282,9 +295,11 @@ func (c Config) htmConfig() (htm.Config, error) {
 
 func (c Config) engineConfig() (engine.Config, error) {
 	cfg := engine.Config{
-		AttemptLimit: c.AttemptLimit,
-		FastLimit:    c.FastLimit,
-		MiddleLimit:  c.MiddleLimit,
+		AttemptLimit:     c.AttemptLimit,
+		FastLimit:        c.FastLimit,
+		MiddleLimit:      c.MiddleLimit,
+		HelpableFallback: c.HelpableFallback,
+		PreemptPoint:     c.PreemptFallbackPoint,
 	}
 	if c.UseSNZI {
 		cfg.Indicator = engine.NewSNZIIndicator()
@@ -753,6 +768,10 @@ type PolicyStats struct {
 	// remaining after a capacity abort, and Demotions the operations
 	// that started past the fast path on their site's capacity memory.
 	Backoffs, FreeRetries, CapacitySkips, Demotions uint64
+	// Helps counts announced fallback operations completed by threads
+	// other than (or alongside) their announcer; nonzero only with
+	// Config.HelpableFallback.
+	Helps uint64
 }
 
 // RebalanceStats counts live shard-rebalancing activity (RouterAdaptive).
@@ -811,6 +830,7 @@ func (t *Tree) Stats() Stats {
 			FreeRetries:   ops.Policy.FreeRetries,
 			CapacitySkips: ops.Policy.CapacitySkips,
 			Demotions:     ops.Policy.Demotions,
+			Helps:         ops.Policy.Helps,
 		},
 	}
 	for _, p := range []htm.PathKind{htm.PathFast, htm.PathMiddle, htm.PathFallback} {

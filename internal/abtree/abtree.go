@@ -261,6 +261,7 @@ func (t *Tree) newHandle() *Handle {
 	}
 	h.pool = nodepool.New[Node](func(n *Node) bool { return n.leaf }, h.freshNode, h.e)
 	h.e.EnableReclaim(h.pool.Release, t.cfg.SearchOutsideTx)
+	h.e.SetHelpExec(h.helpExec)
 	h.buildOps()
 	return h
 }

@@ -1,0 +1,114 @@
+package abtree
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+)
+
+// helpableConfig returns a TLE configuration whose fast path can never
+// commit (every transactional access aborts spuriously), so every
+// update reaches the helpable fallback deterministically. Minimum legal
+// degree bounds (a=2, b=3) make splits and underfull leaves cheap to
+// provoke.
+func helpableConfig(preempt func()) Config {
+	return Config{
+		A:         2,
+		B:         3,
+		Algorithm: engine.AlgTLE,
+		HTM:       htm.Config{SpuriousEvery: 1},
+		Engine: engine.Config{
+			HelpableFallback: true,
+			AttemptLimit:     1,
+			PreemptPoint:     preempt,
+		},
+	}
+}
+
+// TestHelpableHelperCompletes parks an announcing owner right after it
+// publishes its delete descriptor and has a helper complete the
+// operation alone. The committed delete underfills a leaf, so the
+// NeedFix verdict must travel through the descriptor back to the owner,
+// whose fix loop then restores the degree invariants (a helper cannot
+// rebalance — the fix loop re-enters the engine).
+func TestHelpableHelperCompletes(t *testing.T) {
+	t.Parallel()
+	var hook atomic.Value // func()
+	tr := New(helpableConfig(func() {
+		if f, ok := hook.Load().(func()); ok && f != nil {
+			f()
+		}
+	}))
+	h1 := tr.newHandle()
+	h2 := tr.newHandle()
+	const n = 40
+	for k := uint64(1); k <= n; k++ {
+		h1.Insert(k, k*10)
+	}
+
+	announced := make(chan struct{})
+	resume := make(chan struct{})
+	var fired atomic.Bool
+	hook.Store(func() {
+		if fired.CompareAndSwap(false, true) {
+			announced <- struct{}{}
+			<-resume
+		}
+	})
+
+	done := make(chan struct{})
+	var old uint64
+	var existed bool
+	go func() {
+		defer close(done)
+		old, existed = h1.Delete(7)
+	}()
+	<-announced
+	if !h2.e.H.Help() {
+		t.Fatal("helper found nothing to help")
+	}
+	if _, ok := h2.Search(7); ok {
+		t.Fatal("key 7 still present after helped delete")
+	}
+	close(resume)
+	<-done
+	if !existed || old != 70 {
+		t.Fatalf("owner Delete returned (%d,%v), want (70,true)", old, existed)
+	}
+	// The owner ran its fix loop after the helped commit: strict
+	// invariants (no tags, degrees within bounds on the search path)
+	// must hold for the quiescent tree.
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= n; k++ {
+		want, wantOK := k*10, true
+		if k == 7 {
+			want, wantOK = 0, false
+		}
+		if v, ok := h2.Search(k); ok != wantOK || v != want {
+			t.Fatalf("Search(%d) = (%d,%v), want (%d,%v)", k, v, ok, want, wantOK)
+		}
+	}
+}
+
+// TestHelpableConcurrentKeySum drives every update through the helpable
+// fallback under real concurrency, with splits and rebalancing steps in
+// constant play (tiny degree bounds, small key range).
+func TestHelpableConcurrentKeySum(t *testing.T) {
+	t.Parallel()
+	testConcurrentKeySum(t, helpableConfig(nil), 4, 1500, 32)
+}
+
+// TestHelpableConcurrentKeySumMixed keeps the fast path mostly alive so
+// helpable fallbacks interleave with fast-path commits.
+func TestHelpableConcurrentKeySumMixed(t *testing.T) {
+	t.Parallel()
+	testConcurrentKeySum(t, Config{
+		Algorithm: engine.AlgTLE,
+		HTM:       htm.Config{SpuriousEvery: 40},
+		Engine:    engine.Config{HelpableFallback: true, AttemptLimit: 2},
+	}, 4, 2000, 64)
+}

@@ -12,6 +12,13 @@ import (
 // buildOps constructs the per-handle engine ops once.
 func (h *Handle) buildOps() {
 	t := h.t
+	// Helpable-fallback completion (engine/help.go): the terminal
+	// attempt carries the result and whether the helped update left a
+	// balance violation; the owner runs the fix loop itself after the
+	// engine returns (Insert/Delete below).
+	finish := func(val uint64, found, needFix bool) {
+		h.resVal, h.resFound, h.needFix = val, found, needFix
+	}
 	h.insertOp = engine.Op{
 		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.insertBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
@@ -20,6 +27,11 @@ func (h *Handle) buildOps() {
 		Locked:   func() { t.insertBody(&prims{t: t, h: h, m: modeFast}) },
 		SCXHTM: func(useHTM bool) bool {
 			return t.insertBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
+		},
+		Helpable: &engine.HelpableOp{
+			Kind:   engine.HelpInsert,
+			Args:   func() (uint64, uint64) { return h.argKey, h.argVal },
+			Finish: finish,
 		},
 		Update: true,
 	}
@@ -31,6 +43,11 @@ func (h *Handle) buildOps() {
 		Locked:   func() { t.deleteBody(&prims{t: t, h: h, m: modeFast}) },
 		SCXHTM: func(useHTM bool) bool {
 			return t.deleteBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
+		},
+		Helpable: &engine.HelpableOp{
+			Kind:   engine.HelpDelete,
+			Args:   func() (uint64, uint64) { return h.argKey, 0 },
+			Finish: finish,
 		},
 		Update: true,
 	}

@@ -14,6 +14,9 @@ import (
 // fields.
 func (h *Handle) buildOps() {
 	t := h.t
+	// finish delivers a helped operation's result into the handle
+	// scratch (shared by both update ops; the bst has no deferred fix).
+	finish := func(val uint64, found, _ bool) { h.resVal, h.resFound = val, found }
 	h.insertOp = engine.Op{
 		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.insertFast(tx, h) },
@@ -22,6 +25,11 @@ func (h *Handle) buildOps() {
 		Locked:   func() { t.insertFast(nil, h) },
 		SCXHTM:   func(useHTM bool) bool { return t.insertTemplate(h, useHTM) },
 		Update:   true,
+		Helpable: &engine.HelpableOp{
+			Kind:   engine.HelpInsert,
+			Args:   func() (uint64, uint64) { return h.argKey, h.argVal },
+			Finish: finish,
+		},
 	}
 	h.deleteOp = engine.Op{
 		Site:     engine.NewSite(),
@@ -31,6 +39,11 @@ func (h *Handle) buildOps() {
 		Locked:   func() { t.deleteFast(nil, h) },
 		SCXHTM:   func(useHTM bool) bool { return t.deleteTemplate(h, useHTM) },
 		Update:   true,
+		Helpable: &engine.HelpableOp{
+			Kind:   engine.HelpDelete,
+			Args:   func() (uint64, uint64) { return h.argKey, 0 },
+			Finish: finish,
+		},
 	}
 	h.searchOp = engine.Op{
 		Site:     engine.NewSite(),

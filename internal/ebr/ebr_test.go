@@ -161,3 +161,83 @@ func TestRetireFastImmediate(t *testing.T) {
 		t.Fatalf("RetireFast did not recycle immediately: %v", got)
 	}
 }
+
+// TestActiveReportsSection checks the Active query the helpable
+// fallback's helper guard relies on: a thread is active exactly while
+// it is inside a Begin/End section, through repeated sections, and
+// retiring from within a section does not disturb the report.
+func TestActiveReportsSection(t *testing.T) {
+	t.Parallel()
+	m := New()
+	th := m.NewThread(func(any) {})
+	if th.Active() {
+		t.Fatal("fresh thread reports active")
+	}
+	for i := 0; i < 3; i++ {
+		th.Begin()
+		if !th.Active() {
+			t.Fatalf("section %d: thread inside Begin/End reports inactive", i)
+		}
+		th.Retire(i)
+		if !th.Active() {
+			t.Fatalf("section %d: Retire flipped the active report", i)
+		}
+		th.End()
+		if th.Active() {
+			t.Fatalf("section %d: thread after End reports active", i)
+		}
+	}
+}
+
+// TestRetireOncePerNode retires each of a set of nodes exactly once
+// from whichever of two threads claims it first — the helpable
+// fallback's install-claim discipline — and checks every node is freed
+// exactly once and none is lost.
+func TestRetireOncePerNode(t *testing.T) {
+	t.Parallel()
+	m := New()
+	const nodes = 200
+	var freed [nodes]atomic.Uint32
+	mk := func() func(any) {
+		return func(x any) {
+			if i := x.(int); i >= 0 {
+				freed[i].Add(1)
+			}
+		}
+	}
+	a := m.NewThread(mk())
+	b := m.NewThread(mk())
+
+	var claims [nodes]atomic.Bool
+	var wg sync.WaitGroup
+	for _, th := range []*Thread{a, b} {
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			for i := 0; i < nodes; i++ {
+				th.Begin()
+				if claims[i].CompareAndSwap(false, true) {
+					th.Retire(i)
+				}
+				th.End()
+			}
+		}(th)
+	}
+	wg.Wait()
+	// Drain: epoch advances are driven by Retire, so push sentinel
+	// retirees (negative, ignored by the free callback) until every
+	// bag has aged out.
+	for i := 0; i < 4*advanceEvery; i++ {
+		a.Begin()
+		a.Retire(-1)
+		a.End()
+		b.Begin()
+		b.Retire(-1)
+		b.End()
+	}
+	for i := range freed {
+		if n := freed[i].Load(); n != 1 {
+			t.Fatalf("node %d freed %d times, want exactly once", i, n)
+		}
+	}
+}

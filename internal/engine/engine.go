@@ -174,6 +174,18 @@ type Config struct {
 	// NewAdaptivePolicy; StaticPolicy restores the cause-blind
 	// fixed-budget loops).
 	Policy RetryPolicy
+	// HelpableFallback replaces AlgTLE's locked fallback path with the
+	// helpable lock-free lock protocol (see help.go): operations with a
+	// Helpable descriptor are announced before the critical section and
+	// any blocked thread drives them to completion instead of spinning
+	// behind a possibly preempted owner. Ignored by other algorithms.
+	HelpableFallback bool
+	// PreemptPoint, when non-nil, is invoked at the most
+	// preemption-sensitive point of the fallback path: right after the
+	// classic lock acquisition (the baseline's convoy window), or right
+	// after the announcement in helpable mode. Tests inject
+	// runtime.Gosched here to force the convoy/help schedules.
+	PreemptPoint func()
 }
 
 func (c Config) withDefaults() Config {
@@ -198,9 +210,17 @@ func (c Config) withDefaults() Config {
 // Engine executes operations according to one of the template
 // algorithms.
 type Engine struct {
-	cfg     Config
-	tle     htm.Word     // TLE global lock (0 free, 1 held)
+	cfg Config
+	// tle is the TLE global lock word: 0 free, 1 held by a classic
+	// locked operation, ≥ 2 held for the helpable descriptor of that
+	// generation (see help.go).
+	tle     htm.Word
 	reclaim *ebr.Manager // epoch domain for the structure's node pools
+	// genCtr feeds HelpDesc generations (nextGen).
+	genCtr atomic.Uint64
+	// helpingPolicy caches whether the retry policy opted into
+	// help-while-blocked fast-path waits (FallbackHelper).
+	helpingPolicy bool
 
 	mu      sync.Mutex
 	threads []*Thread
@@ -217,6 +237,9 @@ func New(cfg Config, clk *htm.Clock) *Engine {
 		cfg.Algorithm = AlgThreePath
 	}
 	e := &Engine{cfg: cfg.withDefaults(), reclaim: ebr.New()}
+	if fh, ok := e.cfg.Policy.(FallbackHelper); ok {
+		e.helpingPolicy = fh.HelpWhileBlocked()
+	}
 	e.tle.Bind(clk)
 	e.cfg.Indicator.Bind(clk)
 	if e.cfg.Monitor != nil {
@@ -261,6 +284,11 @@ type Thread struct {
 	// is unaffected). Set on the shard layer's migration handles, whose
 	// operations run while the migrator itself holds the gate.
 	gateBypass bool
+
+	// helpExec is the structure's fallback-attempt executor for
+	// announced descriptors (SetHelpExec); nil disables helping on this
+	// thread.
+	helpExec func(*HelpDesc)
 }
 
 // SetGateBypass exempts the thread's update operations from the update
@@ -317,8 +345,14 @@ func (th *Thread) EnableReclaim(free func(any), nonTxReaders bool) {
 	// scx-htm commit removals non-transactionally, so none of them
 	// qualifies.
 	switch th.eng.cfg.Algorithm {
-	case AlgThreePath, AlgTwoPathNCon, AlgTLE:
+	case AlgThreePath, AlgTwoPathNCon:
 		th.fastRecycle = !nonTxReaders
+	case AlgTLE:
+		// Under the helpable fallback, stale helpers may still be
+		// reading nodes non-transactionally after the critical section's
+		// derived release lets fast-path commits resume, so immediate
+		// recycling of fast-path removals is unsound there.
+		th.fastRecycle = !nonTxReaders && !th.eng.cfg.HelpableFallback
 	default:
 		th.fastRecycle = false
 	}
@@ -464,6 +498,12 @@ type Op struct {
 	// operation type should give it its own NewSite; nil shares the
 	// engine thread's site across all of the thread's unsited ops.
 	Site *Site
+	// Helpable, when non-nil, lets the operation's fallback critical
+	// section run through the helpable lock-free lock protocol under
+	// AlgTLE with Config.HelpableFallback (see help.go). Operations
+	// without it (reads, rebalancing steps) fall back to the classic
+	// locked path.
+	Helpable *HelpableOp
 	// prepared records that Fast and Middle already include the
 	// monitor's commit bump (Thread.PrepareOp), so Run need not wrap
 	// them per call.
@@ -624,12 +664,21 @@ func (th *Thread) Run(op Op) htm.PathKind {
 // runTLE implements transactional lock elision: the fast path subscribes
 // to the global lock and aborts while it is held; when the retry policy
 // exhausts the AttemptLimit budget the operation acquires the lock and
-// runs the sequential body. TLE is deadlock-free but not lock-free.
+// runs the sequential body. Classic TLE is deadlock-free but not
+// lock-free; with Config.HelpableFallback, update operations instead
+// announce a descriptor and run the helpable lock-free lock protocol
+// (help.go), and every wait on the lock word helps the announced
+// operation along.
 func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 	e := th.eng
 	site := op.policySite(th)
+	helpable := e.cfg.HelpableFallback
+	preWait := func() { waitWhile(func() bool { return e.tle.Get(nil) != 0 }) }
+	if helpable && e.helpingPolicy {
+		preWait = th.helpWait
+	}
 	if !th.skipFast(site) && th.runPath(site, htm.PathFast, e.cfg.AttemptLimit, false,
-		func() { waitWhile(func() bool { return e.tle.Get(nil) != 0 }) },
+		preWait,
 		func(tx *htm.Tx) {
 			if e.tle.Get(tx) != 0 {
 				tx.Abort(CodeLockHeld)
@@ -639,8 +688,24 @@ func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 		th.completed(htm.PathFast)
 		return htm.PathFast
 	}
+	if helpable && op.Helpable != nil && th.helpExec != nil {
+		th.runHelpableFallback(op, mon)
+		th.completed(htm.PathFallback)
+		return htm.PathFallback
+	}
 	for !e.tle.CAS(nil, 0, 1) {
+		// In helpable mode a blocked classic acquirer still helps the
+		// announced operation — required for the protocol's progress
+		// argument, since the word stays held until the operation is
+		// done.
+		if helpable && th.H.Help() {
+			atomic.AddUint64(&th.polstats.Helps, 1)
+			continue
+		}
 		runtime.Gosched()
+	}
+	if e.cfg.PreemptPoint != nil {
+		e.cfg.PreemptPoint()
 	}
 	func() {
 		// Release with defer, like the monitor bracket below: a panic

@@ -107,6 +107,17 @@ type RetryPolicy interface {
 	SkipFast(site *Site) bool
 }
 
+// FallbackHelper is an optional RetryPolicy extension consulted by the
+// helpable fallback (Config.HelpableFallback): when HelpWhileBlocked
+// reports true, a fast-path thread blocked on the fallback lock word
+// spends its wait helping the announced operation (one help, then
+// re-check the word) instead of burning backoff spins. AdaptivePolicy
+// opts in; StaticPolicy keeps the plain wait, preserving the baseline's
+// behavior for comparison.
+type FallbackHelper interface {
+	HelpWhileBlocked() bool
+}
+
 // StaticPolicy is the cause-blind baseline: every abort consumes one
 // budgeted attempt with no backoff, and no site ever skips the fast
 // path. This is the fixed-budget loop of the paper's Section 7 setup
@@ -181,6 +192,10 @@ func (p *AdaptivePolicy) AfterAbort(site *Site, _ htm.PathKind, ab htm.Abort, us
 	return Decision{Action: ActionRetry}
 }
 
+// HelpWhileBlocked opts fast-path threads blocked on the fallback lock
+// into helping the announced operation (see FallbackHelper).
+func (p *AdaptivePolicy) HelpWhileBlocked() bool { return true }
+
 // SkipFast consults the site's capacity score, still probing the fast
 // path on ~1/capProbeEvery operations so the score can recover.
 func (p *AdaptivePolicy) SkipFast(site *Site) bool {
@@ -220,6 +235,9 @@ type PolicyStats struct {
 	// Demotions counts operations that started past the fast path
 	// because their site's capacity score was saturated.
 	Demotions uint64
+	// Helps counts announced fallback operations this engine's threads
+	// helped complete while blocked (helpable fallback only).
+	Helps uint64
 }
 
 // Merge adds another snapshot into s.
@@ -228,6 +246,7 @@ func (s *PolicyStats) Merge(o PolicyStats) {
 	s.FreeRetries += o.FreeRetries
 	s.CapacitySkips += o.CapacitySkips
 	s.Demotions += o.Demotions
+	s.Helps += o.Helps
 }
 
 // addAtomic accumulates a live per-thread accumulator into s using
@@ -237,6 +256,7 @@ func (s *PolicyStats) addAtomic(o *PolicyStats) {
 	s.FreeRetries += atomic.LoadUint64(&o.FreeRetries)
 	s.CapacitySkips += atomic.LoadUint64(&o.CapacitySkips)
 	s.Demotions += atomic.LoadUint64(&o.Demotions)
+	s.Helps += atomic.LoadUint64(&o.Helps)
 }
 
 // backoffSpin busy-waits for roughly n iterations of register-only

@@ -1,0 +1,211 @@
+package hist
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestBucketRoundTrip checks that every bucket's lower bound maps back
+// to that bucket, and that bucket assignment is monotone across every
+// bucket boundary (v-1 lands strictly below v's bucket at each Low).
+func TestBucketRoundTrip(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		lo := bucketLow(i)
+		if got := bucket(lo); got != i {
+			t.Fatalf("bucket(bucketLow(%d)) = %d, want %d (low %d)", i, got, i, lo)
+		}
+		if lo > 0 {
+			if got := bucket(lo - 1); got != i-1 {
+				t.Fatalf("bucket(%d) = %d, want %d (boundary below bucket %d)",
+					lo-1, got, i-1, i)
+			}
+		}
+		if mid := bucketMid(i); bucket(mid) != i {
+			t.Fatalf("bucketMid(%d) = %d lands in bucket %d", i, mid, bucket(mid))
+		}
+	}
+	// The extremes of the domain must be representable.
+	if got := bucket(0); got != 0 {
+		t.Fatalf("bucket(0) = %d", got)
+	}
+	if got := bucket(math.MaxUint64); got != numBuckets-1 {
+		t.Fatalf("bucket(MaxUint64) = %d, want %d", got, numBuckets-1)
+	}
+}
+
+// TestBucketRelativeError checks the quantization guarantee: a bucket's
+// width never exceeds 2^-subBits of its lower bound (for values above
+// the exact range).
+func TestBucketRelativeError(t *testing.T) {
+	for i := subCount; i < numBuckets-1; i++ {
+		lo, hi := bucketLow(i), bucketLow(i+1)
+		if width := hi - lo; float64(width) > float64(lo)/float64(subCount)+1 {
+			t.Fatalf("bucket %d: width %d exceeds %d/%d", i, width, lo, subCount)
+		}
+	}
+}
+
+// lcg is a tiny deterministic PRNG for reference distributions.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// TestQuantileAccuracy records deterministic samples spanning several
+// orders of magnitude and compares every interesting quantile against
+// the exact order statistic from a sorted reference copy. The histogram
+// answer must be within one bucket width (~2^-subBits relative) of the
+// truth.
+func TestQuantileAccuracy(t *testing.T) {
+	var h Hist
+	var r lcg = 12345
+	const n = 200000
+	ref := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		// Latency-shaped: mostly small values, a heavy tail up to ~2^40.
+		shift := r.next() % 34
+		v := 100 + r.next()%(uint64(1)<<(6+shift))
+		ref = append(ref, v)
+		h.Record(v)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if h.Max() != ref[n-1] {
+		t.Fatalf("Max = %d, want %d (exact)", h.Max(), ref[n-1])
+	}
+	var sum uint64
+	for _, v := range ref {
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %d, want %d (exact)", h.Sum(), sum)
+	}
+
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999} {
+		rank := int(q*float64(n)+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		want := ref[rank]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		if relErr > 1.0/subCount {
+			t.Errorf("Quantile(%v) = %d, reference %d (rel err %.4f > %.4f)",
+				q, got, want, relErr, 1.0/subCount)
+		}
+	}
+	if got := h.Quantile(1); got != ref[n-1] {
+		t.Fatalf("Quantile(1) = %d, want exact max %d", got, ref[n-1])
+	}
+}
+
+// TestQuantileEdgeCases covers empty and single-sample histograms.
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	if h.Mean() != 7 {
+		t.Fatalf("Mean = %v, want 7", h.Mean())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset did not empty the histogram")
+	}
+}
+
+// TestMerge checks that merging per-thread histograms is exact: the
+// merge of disjoint recordings equals recording everything into one.
+func TestMerge(t *testing.T) {
+	var a, b, all Hist
+	var r lcg = 999
+	for i := 0; i < 50000; i++ {
+		v := r.next() % (1 << 30)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	var m Hist
+	m.Merge(&a)
+	m.Merge(&b)
+	if m.Count() != all.Count() || m.Sum() != all.Sum() || m.Max() != all.Max() {
+		t.Fatalf("merge totals (%d,%d,%d) != direct (%d,%d,%d)",
+			m.Count(), m.Sum(), m.Max(), all.Count(), all.Sum(), all.Max())
+	}
+	if m.counts != all.counts {
+		t.Fatal("merged bucket array differs from direct recording")
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if m.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("Quantile(%v): merged %d != direct %d", q, m.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestBucketsExport checks the non-empty bucket export covers every
+// sample exactly once with consistent ranges.
+func TestBucketsExport(t *testing.T) {
+	var h Hist
+	var r lcg = 4242
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Record(r.next() % (1 << 20))
+	}
+	var total uint64
+	prevHigh := uint64(0)
+	for _, b := range h.Buckets() {
+		if b.Low < prevHigh {
+			t.Fatalf("bucket [%d,%d) overlaps previous (high %d)", b.Low, b.High, prevHigh)
+		}
+		if b.High <= b.Low {
+			t.Fatalf("bucket [%d,%d) is empty-ranged", b.Low, b.High)
+		}
+		if b.Count == 0 {
+			t.Fatal("export contains an empty bucket")
+		}
+		prevHigh = b.High
+		total += b.Count
+	}
+	if total != n {
+		t.Fatalf("exported counts sum to %d, want %d", total, n)
+	}
+}
+
+// TestRecordZeroAlloc is the package-local allocation gate: Record,
+// Merge, and Quantile must not allocate (the repo-level gate in
+// alloc_gate_test.go checks the same through the workload capture
+// path).
+func TestRecordZeroAlloc(t *testing.T) {
+	var h, o Hist
+	var r lcg = 1
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Record(r.next() % (1 << 22))
+	}); avg != 0 {
+		t.Fatalf("Record allocates %v per op", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		o.Merge(&h)
+	}); avg != 0 {
+		t.Fatalf("Merge allocates %v per op", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.99)
+	}); avg != 0 {
+		t.Fatalf("Quantile allocates %v per op", avg)
+	}
+}

@@ -1,0 +1,101 @@
+package htm
+
+// Announced is an operation descriptor published in a TM's announcement
+// slot (one per TM, i.e. per shard). The helpable-fallback engine
+// ("Lock-Free Locks Revisited", Ben-David, Blelloch & Wei 2022)
+// announces the fallback critical section here before executing it, so
+// that any thread finding the fallback lock taken can run the announced
+// operation to completion instead of spinning behind a possibly
+// preempted owner.
+//
+// Finished reports whether the operation has reached a terminal state;
+// a finished descriptor left in the slot is garbage that the next
+// Announce clears.
+type Announced interface {
+	Finished() bool
+}
+
+// announceBox wraps an Announced so the slot can be a typed atomic
+// pointer (interfaces cannot be CASed directly).
+type announceBox struct {
+	a Announced
+}
+
+// Announce tries to install a as the TM's current announcement. It
+// fails (returns false) only when another unfinished operation is
+// already announced; a leftover finished descriptor is cleared and the
+// install retried. On success the backend is notified via
+// Backend.Announce so blocking backends (the TLE lock) switch their
+// waiters to helping.
+func (tm *TM) Announce(a Announced) bool {
+	box := &announceBox{a: a}
+	for {
+		cur := tm.ann.Load()
+		if cur != nil {
+			if !cur.a.Finished() {
+				return false
+			}
+			tm.Retract(cur.a)
+			continue
+		}
+		if tm.ann.CompareAndSwap(nil, box) {
+			tm.backend.Announce(a)
+			return true
+		}
+	}
+}
+
+// Retract clears the announcement slot if it still holds a. Any thread
+// observing that a finished may retract it; the slot CAS guarantees the
+// backend sees exactly one retraction per successful Announce.
+func (tm *TM) Retract(a Announced) {
+	cur := tm.ann.Load()
+	if cur != nil && cur.a == a && tm.ann.CompareAndSwap(cur, nil) {
+		tm.backend.Announce(nil)
+	}
+}
+
+// Announcement returns the TM's currently announced operation, or nil.
+func (tm *TM) Announcement() Announced {
+	if box := tm.ann.Load(); box != nil {
+		return box.a
+	}
+	return nil
+}
+
+// SetHelper registers the function that runs an announced operation on
+// behalf of this thread. The engine layer installs a closure that
+// downcasts the descriptor and drives it with this thread's own handle
+// state (node pools, EBR record). fn must be reentrancy-free: it is
+// never invoked while a previous invocation on this thread is still on
+// the stack.
+func (th *Thread) SetHelper(fn func(Announced) bool) { th.helper = fn }
+
+// Help runs the TM's announced operation, if any, on behalf of this
+// thread and reports whether it helped. It is a no-op inside a
+// transaction: helping executes non-transactional fallback-path code,
+// which must not nest under a live transaction log.
+func (th *Thread) Help() bool {
+	if th.inTx {
+		return false
+	}
+	return th.tm.backend.Help(th)
+}
+
+// runHelp is the backend-facing help entry: unlike Help it may run
+// while the thread is formally inside Atomic, because a blocking
+// backend's Begin calls it before the attempt has established a
+// snapshot or logged any access (the only state is an empty log, which
+// the announced operation cannot disturb).
+func (th *Thread) runHelp() bool {
+	if th.helper == nil || th.helping {
+		return false
+	}
+	a := th.tm.Announcement()
+	if a == nil || a.Finished() {
+		return false
+	}
+	th.helping = true
+	defer func() { th.helping = false }()
+	return th.helper(a)
+}

@@ -1,6 +1,10 @@
 package htm
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // Backend is the transactional-memory implementation behind a TM: how a
 // transaction begins, which accesses it admits, how it commits, and how
@@ -61,6 +65,16 @@ type Backend interface {
 	// End tears down the attempt; committed reports whether Commit
 	// succeeded. Called exactly once per Begin, on every exit route.
 	End(tx *Tx, committed bool)
+	// Announce notifies the backend that a fallback operation was
+	// announced in the TM's slot (a != nil) or retracted (a == nil),
+	// bracketing the window in which blocked threads should help
+	// instead of waiting. Calls are balanced: one nil per non-nil.
+	Announce(a Announced)
+	// Help runs the TM's announced operation, if any, on behalf of th,
+	// reporting whether it helped. Backends that can block in Begin
+	// call th.runHelp while waiting; this method is the engine-facing
+	// entry used by retry policies (via Thread.Help).
+	Help(th *Thread) bool
 }
 
 // BackendKind selects one of the built-in Backend implementations.
@@ -119,16 +133,41 @@ func (simBackend) Commit(tx *Tx) AbortCause { return tx.commit() }
 
 func (simBackend) End(*Tx, bool) {}
 
+// Announce is a no-op: the simulator never blocks, so it has no waiters
+// to redirect; helping for the simulated backend is driven entirely at
+// the engine layer (a thread that finds the fallback lock word set
+// helps via Thread.Help between attempts).
+func (simBackend) Announce(Announced) {}
+
+// Help runs the announced operation on th's behalf. The simulator
+// itself never calls this (it has no blocking point); it exists for the
+// engine-facing Thread.Help entry.
+func (simBackend) Help(th *Thread) bool { return th.runHelp() }
+
 // tleLockBackend implements BackendTLELock: a per-TM mutex held for the
 // whole attempt. See the BackendTLELock docs for the semantics.
 type tleLockBackend struct {
 	mu sync.Mutex
+	// announced counts announced-but-not-retracted fallback operations
+	// (0 or 1 in practice; balanced Announce calls keep it exact). When
+	// nonzero, Begin switches from blocking on the mutex to a
+	// try-lock/help loop so a thread serialized behind the lock spends
+	// its wait completing the announced operation.
+	announced atomic.Int32
 }
 
 func (b *tleLockBackend) Name() string { return "tle-lock" }
 
 func (b *tleLockBackend) Begin(tx *Tx) {
-	b.mu.Lock()
+	if b.announced.Load() > 0 {
+		for !b.mu.TryLock() {
+			if !tx.th.runHelp() {
+				runtime.Gosched()
+			}
+		}
+	} else {
+		b.mu.Lock()
+	}
 	tx.rv = tx.th.tm.clock.Now()
 }
 
@@ -144,6 +183,19 @@ func (b *tleLockBackend) Admit(*Tx, bool, int) {}
 func (b *tleLockBackend) Commit(tx *Tx) AbortCause { return tx.commit() }
 
 func (b *tleLockBackend) End(*Tx, bool) { b.mu.Unlock() }
+
+// Announce tracks the announcement window (see the announced field).
+func (b *tleLockBackend) Announce(a Announced) {
+	if a != nil {
+		b.announced.Add(1)
+	} else {
+		b.announced.Add(-1)
+	}
+}
+
+// Help runs the announced operation on th's behalf (engine-facing
+// entry; Begin's wait loop calls runHelp directly).
+func (b *tleLockBackend) Help(th *Thread) bool { return th.runHelp() }
 
 // NewBackend returns a fresh instance of a built-in backend. Backends
 // carry per-TM state (the TLE mutex), so every TM needs its own value.

@@ -40,7 +40,10 @@
 // policy belongs to the caller. Transactions must not be nested.
 package htm
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Default capacity and tuning parameters. The Intel-like profile is sized
 // so that the paper's small range queries commit on the fast path while
@@ -128,6 +131,10 @@ type TM struct {
 	// transaction log uses it to keep per-access admission checks
 	// devirtualized (and inlinable) on the hot path.
 	sim bool
+	// ann is the announcement slot of the helpable fallback protocol:
+	// the descriptor of the fallback critical section currently
+	// executing on this TM's trees, if any. See Announce.
+	ann atomic.Pointer[announceBox]
 
 	mu      sync.Mutex
 	threads []*Thread

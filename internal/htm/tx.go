@@ -121,10 +121,17 @@ type Thread struct {
 	tx    Tx
 	inTx  bool
 	stats Stats
+	// helper runs a TM-announced operation on this thread's behalf
+	// (SetHelper); helping guards against reentrant helping.
+	helper  func(Announced) bool
+	helping bool
 }
 
 // ID returns the thread's registration index within its TM.
 func (th *Thread) ID() int { return th.id }
+
+// TM returns the transactional memory this thread belongs to.
+func (th *Thread) TM() *TM { return th.tm }
 
 // Stats returns a snapshot of this thread's transaction statistics. The
 // counters are read through the same atomic path the owning goroutine

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
 
 	"htmtree/internal/abtree"
 	"htmtree/internal/bst"
@@ -48,6 +49,24 @@ type Spec struct {
 	// Policy selects the engine retry policy by name ("" or "adaptive",
 	// "static"); see engine.ParsePolicy.
 	Policy string
+	// Helpable replaces the TLE fallback's classic spin lock with the
+	// announce/help protocol (engine.Config.HelpableFallback). TLE only.
+	Helpable bool
+	// AttemptLimit overrides the fast-path attempt budget for TLE and
+	// the 2-path algorithms (0 keeps the engine default). Oversubscribed
+	// trials set it low to force fallback traffic.
+	AttemptLimit int
+	// PreemptFallback injects a scheduling yield (runtime.Gosched) right
+	// after each fallback operation takes — or, with Helpable, announces
+	// under — the fallback lock, simulating the worst-case preemption of
+	// a lock holder that oversubscription makes likely.
+	PreemptFallback bool
+	// PreemptPoint, when non-nil, replaces PreemptFallback's Gosched
+	// with an arbitrary injection at the same spot. Benchmarks model a
+	// full OS descheduling (the lock holder losing its quantum to a
+	// runnable peer) with a short sleep here — a yield alone puts the
+	// owner back on the run queue, which understates the convoy.
+	PreemptPoint func()
 }
 
 // Name returns a compact label, e.g. "abtree/3-path/x8" or
@@ -66,6 +85,9 @@ func (s Spec) Name() string {
 	if s.AtomicRQ {
 		n += "/atomic"
 	}
+	if s.Helpable {
+		n += "/help"
+	}
 	return n
 }
 
@@ -78,19 +100,31 @@ func (s Spec) New() dict.Dict {
 		if !ok {
 			panic(fmt.Sprintf("workload: unknown retry policy %q", s.Policy))
 		}
+		ecfg := engine.Config{
+			Monitor:          mon,
+			Policy:           pol,
+			HelpableFallback: s.Helpable,
+			AttemptLimit:     s.AttemptLimit,
+		}
+		if s.PreemptFallback {
+			ecfg.PreemptPoint = runtime.Gosched
+		}
+		if s.PreemptPoint != nil {
+			ecfg.PreemptPoint = s.PreemptPoint
+		}
 		switch s.Structure {
 		case "bst":
 			return bst.New(bst.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
-				Engine:          engine.Config{Monitor: mon, Policy: pol},
+				Engine:          ecfg,
 				HTM:             s.HTM,
 			})
 		case "abtree":
 			return abtree.New(abtree.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
-				Engine:          engine.Config{Monitor: mon, Policy: pol},
+				Engine:          ecfg,
 				HTM:             s.HTM,
 			})
 		default:

@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"htmtree/internal/batch"
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
+	"htmtree/internal/hist"
 	"htmtree/internal/htm"
 	"htmtree/internal/shard"
 	"htmtree/internal/xrand"
@@ -94,6 +96,24 @@ type Config struct {
 	// paper's per-operation dispatch. Range-query threads are never
 	// batched.
 	BatchOps int
+	// MeasureLatency captures per-operation latency into per-thread
+	// histograms (internal/hist; zero-allocation on the operation path),
+	// merged into Result.Latency / Result.RQLatency after the trial.
+	// Tail quantiles are the point of the oversubscription experiments:
+	// throughput barely distinguishes a convoying fallback lock from a
+	// helpable one, but p99.9 does. Ignored by batched updaters, whose
+	// per-operation enqueue time is not an operation latency.
+	MeasureLatency bool
+	// YieldEvery makes each worker yield the processor (runtime.Gosched)
+	// between operations, every N completed operations; 0 never yields.
+	// Oversubscribed latency trials set 1: a worker that runs operations
+	// back to back keeps the processor for its full scheduling quantum
+	// and is then preempted mid-operation, charging a multi-quantum
+	// run-queue wait to whichever operation was in flight — a
+	// procs-bound noise population that lands at the p999 rank in every
+	// variant and masks the effect under test. Yielding between
+	// operations moves that wait between timed windows.
+	YieldEvery int
 }
 
 // ShardInfo is implemented by sharded dictionaries that expose their
@@ -128,6 +148,10 @@ type Result struct {
 	// dictionary is a shard.Dict and Config.BatchOps batched the
 	// updaters).
 	Batch shard.BatchStats
+	// Latency and RQLatency are the merged per-operation latency
+	// histograms of the update and range-query threads (nanoseconds;
+	// nil unless Config.MeasureLatency).
+	Latency, RQLatency *hist.Hist
 	// MaxShardShare is the fraction of the trial's per-shard engine
 	// operations served by the busiest shard (prefill excluded): 1/N is
 	// perfectly balanced, 1.0 is total collapse onto one shard. Zero
@@ -150,11 +174,15 @@ func shardOpTotals(sd *shard.Dict) []uint64 {
 	return tot
 }
 
-// delta accumulates one worker thread's contribution to a trial.
+// delta accumulates one worker thread's contribution to a trial. The
+// embedded histograms are recorded by the owning thread only and merged
+// after every worker stopped (they also pad deltas apart, so the hot
+// counters of adjacent threads no longer share cache lines).
 type delta struct {
 	ops, updates, rqs uint64
 	sum               int64
 	count             int64
+	lat               hist.Hist
 }
 
 // runBatchedUpdater is an update thread's loop when Config.BatchOps
@@ -324,7 +352,12 @@ func Run(d dict.Dict, cfg Config) Result {
 				runBatchedUpdater(h, cfg, rng, gen, st, &stop)
 				return
 			}
+			measure := cfg.MeasureLatency
 			for !stop.Load() {
+				var t0 time.Time
+				if measure {
+					t0 = time.Now()
+				}
 				if isRQ {
 					lo := rng.Uint64n(cfg.KeyRange) + 1
 					out = h.RangeQuery(lo, lo+RQLen(rng, cfg.RQSizeMax), out[:0])
@@ -344,7 +377,13 @@ func Run(d dict.Dict, cfg Config) Result {
 					}
 					st.updates++
 				}
+				if measure {
+					st.lat.Record(uint64(time.Since(t0)))
+				}
 				st.ops++
+				if cfg.YieldEvery > 0 && st.ops%uint64(cfg.YieldEvery) == 0 {
+					runtime.Gosched()
+				}
 			}
 		}(i)
 	}
@@ -355,6 +394,10 @@ func Run(d dict.Dict, cfg Config) Result {
 	wg.Wait()
 
 	var res Result
+	if cfg.MeasureLatency {
+		res.Latency = &hist.Hist{}
+		res.RQLatency = &hist.Hist{}
+	}
 	var deltaSum, deltaCount int64
 	for i := range deltas {
 		res.Ops += deltas[i].ops
@@ -362,6 +405,16 @@ func Run(d dict.Dict, cfg Config) Result {
 		res.RQOps += deltas[i].rqs
 		deltaSum += deltas[i].sum
 		deltaCount += deltas[i].count
+		if cfg.MeasureLatency {
+			// The heavy workload's dedicated RQ thread is the last one;
+			// its histogram holds range-query latencies, every other
+			// thread's holds update latencies.
+			if cfg.Kind == Heavy && i == cfg.Threads-1 {
+				res.RQLatency.Merge(&deltas[i].lat)
+			} else {
+				res.Latency.Merge(&deltas[i].lat)
+			}
+		}
 	}
 	res.Throughput = float64(res.Ops) / cfg.Duration.Seconds()
 
