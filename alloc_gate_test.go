@@ -88,6 +88,50 @@ func TestAllocGateABTreePointOps(t *testing.T) {
 	}))
 }
 
+// TestAllocGateAggregateQueries gates the PR 8 aggregate query paths:
+// steady-state RangeAgg (and the whole-tree Count/Min/Max forms) on an
+// unsharded tree must not allocate — the (a,b)-tree's transactional
+// descent uses handle-resident scratch, its LLX-walk fallback a
+// fixed-depth node stack, and the BST control reuses the handle's
+// retained range-query buffer. (Sharded RangeAgg fans out through
+// closures and is exempt; the gate covers the tree-level hot path.)
+func TestAllocGateAggregateQueries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(htmtree.Config) (*htmtree.Tree, error)
+	}{
+		{"abtree", htmtree.NewABTree},
+		{"bst", htmtree.NewBST},
+	} {
+		tree, err := tc.mk(htmtree.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := tree.NewHandle()
+		for k := uint64(1); k <= gateKeys; k++ {
+			h.Insert(k, k)
+		}
+		aggCycle := func() {
+			if _, err := h.RangeAgg(gateKeys/4, 3*gateKeys/4); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Count(); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := h.Min(); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := h.Max(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < gateWarmups; i++ {
+			aggCycle()
+		}
+		gateCheck(t, tc.name+" aggregate queries", testing.AllocsPerRun(200, aggCycle))
+	}
+}
+
 // TestAllocGateLatencyCapture gates the PR 7 latency instrumentation:
 // the per-operation capture the workload driver performs under
 // MeasureLatency — a clock read, the operation, a histogram Record —

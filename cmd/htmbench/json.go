@@ -51,6 +51,10 @@ type jsonRow struct {
 	// trial: backoffs, free_retries, capacity_skips, demotions. Zero
 	// counters are omitted.
 	Policy map[string]uint64 `json:"policy,omitempty"`
+	// Extras carries experiment-specific numbers — the JSON counterpart
+	// of the CSV extras column (e.g. the rangeagg rows' walk-vs-aggregate
+	// speedup and retry counters). Absent for the baseline suite rows.
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 // abortMap flattens the nonzero per-path-per-cause abort counters into
@@ -149,6 +153,7 @@ func jsonExperiments(o options) error {
 			}
 		}
 	}
+	rows = append(rows, rangeAggJSONRows(o)...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -19,6 +19,11 @@
 //	-experiment rqconsistency retry/escalation rate of atomic cross-shard
 //	                      range queries as update load grows (beyond the
 //	                      paper: the per-shard version validation scheme)
+//	-experiment rangeagg  O(log n) subtree-aggregate queries vs leaf
+//	                      walks across range size x tree size, plus the
+//	                      retry-rate drop aggregate reads buy atomic
+//	                      half-keyspace windows under churn (beyond the
+//	                      paper: transactionally maintained aggregates)
 //	-experiment skew      range vs hash vs adaptive shard routing under a
 //	                      Zipfian key distribution (beyond the paper: the
 //	                      router abstraction and live rebalancing)
@@ -126,7 +131,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|skew|batchamortize|abortpolicy|oversub, or all")
+		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|rangeagg|skew|batchamortize|abortpolicy|oversub, or all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -186,8 +191,8 @@ func run() error {
 		}
 		if e == "all" {
 			exps = append(exps, "fig14", "fig16", "fig17", "pathusage", "sec8",
-				"sec10", "headline", "shardscale", "rqconsistency", "skew",
-				"batchamortize", "abortpolicy", "oversub")
+				"sec10", "headline", "shardscale", "rqconsistency", "rangeagg",
+				"skew", "batchamortize", "abortpolicy", "oversub")
 			continue
 		}
 		exps = append(exps, e)
@@ -197,8 +202,8 @@ func run() error {
 	for _, e := range exps {
 		switch e {
 		case "fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
-			"headline", "shardscale", "rqconsistency", "skew", "batchamortize",
-			"abortpolicy", "oversub":
+			"headline", "shardscale", "rqconsistency", "rangeagg", "skew",
+			"batchamortize", "abortpolicy", "oversub":
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -232,6 +237,8 @@ func run() error {
 			shardScale(o)
 		case "rqconsistency":
 			rqConsistency(o)
+		case "rangeagg":
+			rangeAgg(o)
 		case "skew":
 			skew(o)
 		case "batchamortize":

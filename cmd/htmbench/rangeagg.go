@@ -1,0 +1,341 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/htm"
+	"htmtree/internal/shard"
+	"htmtree/internal/workload"
+	"htmtree/internal/xrand"
+)
+
+// The rangeagg experiment measures the PR-8 aggregate machinery from
+// both ends:
+//
+//  1. A quiescent sweep of range size x tree size comparing the
+//     O(log n) subtree-aggregate descent (Handle.RangeAgg on the
+//     (a,b)-tree) against the leaf walk a client would otherwise run
+//     (RangeQuery + summation — the BST's RangeAgg implementation, and
+//     the only option before maintained aggregates). The walk's cost
+//     grows linearly with the range; the descent's does not, so the
+//     speedup column grows with the range fraction.
+//  2. A concurrent retry comparison on a sharded tree with atomic
+//     cross-shard reads: updaters churn the key space while one query
+//     thread reads half-keyspace windows either by walking (RangeQuery)
+//     or via aggregates (RangeAgg). Both go through the same
+//     sample/read/validate protocol, but the aggregate read shrinks the
+//     validation window from O(range) to O(shards * log n), which is
+//     what makes bounded-retry validation succeed at large ranges — the
+//     rq_retries / retries_per_query columns show the drop.
+
+// aggFrac is one range-size point of the sweep: queries span keys/den.
+type aggFrac struct {
+	name string
+	den  uint64
+}
+
+var aggFracs = []aggFrac{{"1/64", 64}, {"1/16", 16}, {"1/4", 4}, {"full", 1}}
+
+// aggSweepPoint is one measured (tree size, range fraction) cell.
+type aggSweepPoint struct {
+	keys, span    uint64
+	frac          string
+	den           uint64
+	aggNs, walkNs float64
+	speedup       float64
+}
+
+// aggTreeSizes returns the tree sizes swept: one decade below -ab-keys
+// (when that stays meaningfully large) plus -ab-keys itself.
+func aggTreeSizes(o options) []uint64 {
+	if o.abKeys >= 10000 {
+		return []uint64{o.abKeys / 10, o.abKeys}
+	}
+	return []uint64{o.abKeys}
+}
+
+// rangeAggSweep fills an (a,b)-tree with every key of [1, keys] and
+// time-boxes random-window queries of each fraction through both
+// implementations. The full fill makes every window's tuple known in
+// closed form, so each cell is also a correctness check.
+func rangeAggSweep(o options) []aggSweepPoint {
+	var pts []aggSweepPoint
+	for _, keys := range aggTreeSizes(o) {
+		spec := workload.Spec{
+			Structure: "abtree",
+			Algorithm: engine.AlgThreePath,
+			HTM:       o.htmCfg(htm.Config{}),
+			Policy:    o.policy,
+		}
+		d := spec.New()
+		h := d.NewHandle()
+		ah := h.(dict.AggHandle)
+		for k := uint64(1); k <= keys; k++ {
+			h.Insert(k, k)
+		}
+		var out []dict.KV
+		for _, f := range aggFracs {
+			span := keys / f.den
+			if span == 0 {
+				continue
+			}
+			wantSum := func(lo uint64) uint64 { return (2*lo + span - 1) * span / 2 }
+			measure := func(fn func(lo uint64)) float64 {
+				rng := xrand.New(o.seed, f.den)
+				deadline := time.Now().Add(o.duration)
+				var n uint64
+				start := time.Now()
+				for n < 8 || time.Now().Before(deadline) {
+					fn(rng.Uint64n(keys-span+1) + 1)
+					n++
+				}
+				return float64(time.Since(start).Nanoseconds()) / float64(n)
+			}
+			aggNs := measure(func(lo uint64) {
+				a, err := ah.RangeAgg(lo, lo+span)
+				if err != nil || a.Sum != wantSum(lo) || a.Count != span {
+					fmt.Fprintf(os.Stderr, "WARNING: rangeagg[%d,%d) = (%+v, %v), want sum %d count %d\n",
+						lo, lo+span, a, err, wantSum(lo), span)
+				}
+			})
+			walkNs := measure(func(lo uint64) {
+				out = h.RangeQuery(lo, lo+span, out[:0])
+				var sum uint64
+				for _, p := range out {
+					sum += p.Key
+				}
+				if sum != wantSum(lo) {
+					fmt.Fprintf(os.Stderr, "WARNING: walk sum[%d,%d) = %d, want %d\n",
+						lo, lo+span, sum, wantSum(lo))
+				}
+			})
+			pts = append(pts, aggSweepPoint{
+				keys: keys, span: span, frac: f.name, den: f.den,
+				aggNs: aggNs, walkNs: walkNs, speedup: walkNs / aggNs,
+			})
+		}
+	}
+	return pts
+}
+
+// aggRetryResult is one concurrent retry-comparison window.
+type aggRetryResult struct {
+	updates, queries uint64
+	stats            shard.RQStats
+}
+
+// rangeAggRetryTrial churns a sharded atomic (a,b)-tree with u updaters
+// while one query thread reads half-keyspace windows in the given mode
+// ("walk" = RangeQuery + sum, "agg" = RangeAgg).
+func rangeAggRetryTrial(o options, shards, u int, mode string, seed uint64) aggRetryResult {
+	keyRange := o.abKeys
+	spec := workload.Spec{
+		Structure: "abtree",
+		Algorithm: engine.AlgThreePath,
+		Shards:    shards,
+		KeySpan:   keyRange,
+		AtomicRQ:  true,
+		HTM:       o.htmCfg(htm.Config{}),
+		Policy:    o.policy,
+	}
+	d := spec.New()
+	hp := d.NewHandle()
+	for k := uint64(1); k <= keyRange; k += 2 { // prefill half the keys
+		hp.Insert(k, k)
+	}
+	var (
+		stop    atomic.Bool
+		updates atomic.Uint64
+		queries atomic.Uint64
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < u; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			rng := xrand.New(seed, uint64(g)+1)
+			var done uint64
+			for !stop.Load() {
+				k := rng.Uint64n(keyRange) + 1
+				if rng.Next()&1 == 0 {
+					h.Insert(k, k)
+				} else {
+					h.Delete(k)
+				}
+				done++
+			}
+			updates.Add(done)
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := d.NewHandle()
+		ah := h.(dict.AggHandle)
+		rng := xrand.New(seed, 0xa66)
+		span := keyRange / 2
+		var out []dict.KV
+		var done uint64
+		for !stop.Load() {
+			lo := rng.Uint64n(keyRange-span+1) + 1
+			if mode == "agg" {
+				if _, err := ah.RangeAgg(lo, lo+span); err != nil {
+					fmt.Fprintf(os.Stderr, "WARNING: rangeagg retry trial: %v\n", err)
+					return
+				}
+			} else {
+				out = h.RangeQuery(lo, lo+span, out[:0])
+				var sum uint64
+				for _, p := range out {
+					sum += p.Key
+				}
+				_ = sum
+			}
+			done++
+		}
+		queries.Add(done)
+	}()
+	time.Sleep(o.duration)
+	stop.Store(true)
+	wg.Wait()
+	return aggRetryResult{
+		updates: updates.Load(),
+		queries: queries.Load(),
+		stats:   d.(*shard.Dict).RQStats(),
+	}
+}
+
+// rangeAggRetryMedians runs the retry comparison for both modes,
+// o.trials times each, and returns the per-mode median (by query
+// throughput).
+func rangeAggRetryMedians(o options, shards, u int) map[string]aggRetryResult {
+	med := make(map[string]aggRetryResult, 2)
+	for _, mode := range []string{"walk", "agg"} {
+		results := make([]aggRetryResult, 0, o.trials)
+		for i := 0; i < o.trials; i++ {
+			results = append(results, rangeAggRetryTrial(o, shards, u, mode, o.seed+uint64(i)*7919))
+		}
+		sort.Slice(results, func(i, j int) bool { return results[i].queries < results[j].queries })
+		med[mode] = results[len(results)/2]
+	}
+	return med
+}
+
+func rangeAggShards(o options) int {
+	if o.shards >= 2 {
+		return o.shards
+	}
+	return 8
+}
+
+func rangeAgg(o options) {
+	fmt.Println("# Range aggregates: O(log n) subtree-aggregate queries vs leaf walks (abtree, 3-path)")
+	fmt.Println("# extras: keys, range_keys, frac, agg_ns_per_query, walk_ns_per_query, speedup")
+	for _, p := range rangeAggSweep(o) {
+		row{experiment: "rangeagg", structure: "abtree", algorithm: "3-path",
+			threads: 1, shards: 1,
+			extras: []string{
+				kv("keys", "%d", p.keys),
+				kv("range_keys", "%d", p.span),
+				kv("frac", "%s", p.frac),
+				kv("agg_ns_per_query", "%.0f", p.aggNs),
+				kv("walk_ns_per_query", "%.0f", p.walkNs),
+				kv("speedup", "%.1f", p.speedup),
+			}}.emit()
+	}
+
+	shards := rangeAggShards(o)
+	n := o.threads[len(o.threads)-1]
+	u := n - 1
+	if u < 1 {
+		u = 1
+	}
+	fmt.Printf("# Atomic half-keyspace reads under churn: %d updaters + 1 query thread, %d shards\n", u, shards)
+	fmt.Println("# extras: mode, updaters, updates_per_sec, queries_per_sec, rq_attempts, rq_retries, rq_escalations, retries_per_query")
+	med := rangeAggRetryMedians(o, shards, u)
+	secs := o.duration.Seconds()
+	for _, mode := range []string{"walk", "agg"} {
+		r := med[mode]
+		retPerQ := 0.0
+		if r.queries > 0 {
+			retPerQ = float64(r.stats.Retries) / float64(r.queries)
+		}
+		row{experiment: "rangeagg", structure: "abtree", algorithm: "3-path",
+			threads: u + 1, shards: shards,
+			extras: []string{
+				kv("mode", "%s", mode),
+				kv("updaters", "%d", u),
+				kv("updates_per_sec", "%.0f", float64(r.updates)/secs),
+				kv("queries_per_sec", "%.0f", float64(r.queries)/secs),
+				kv("rq_attempts", "%d", r.stats.Attempts),
+				kv("rq_retries", "%d", r.stats.Retries),
+				kv("rq_escalations", "%d", r.stats.Escalations),
+				kv("retries_per_query", "%.3f", retPerQ),
+			}}.emit()
+	}
+}
+
+// rangeAggJSONRows renders the same measurements as machine-readable
+// rows for the committed BENCH_*.json baselines: one row per sweep
+// cell (named rangeagg/abtree/keys<N>/den<D>) and one per retry mode
+// (rangeagg-retries/abtree/x<shards>/<mode>), with the
+// experiment-specific numbers in the extras map.
+func rangeAggJSONRows(o options) []jsonRow {
+	var rows []jsonRow
+	for _, p := range rangeAggSweep(o) {
+		r := jsonRow{
+			Schema:     schemaVersion,
+			Name:       fmt.Sprintf("rangeagg/abtree/keys%d/den%d", p.keys, p.den),
+			Throughput: 1e9 / p.aggNs,
+			NsOp:       p.aggNs,
+			Extras: map[string]float64{
+				"range_keys":        float64(p.span),
+				"agg_ns_per_query":  p.aggNs,
+				"walk_ns_per_query": p.walkNs,
+				"speedup":           p.speedup,
+			},
+		}
+		rows = append(rows, r)
+	}
+	shards := rangeAggShards(o)
+	n := o.threads[len(o.threads)-1]
+	u := n - 1
+	if u < 1 {
+		u = 1
+	}
+	med := rangeAggRetryMedians(o, shards, u)
+	secs := o.duration.Seconds()
+	for _, mode := range []string{"walk", "agg"} {
+		r := med[mode]
+		retPerQ := 0.0
+		if r.queries > 0 {
+			retPerQ = float64(r.stats.Retries) / float64(r.queries)
+		}
+		jr := jsonRow{
+			Schema:     schemaVersion,
+			Name:       fmt.Sprintf("rangeagg-retries/abtree/x%d/%s", shards, mode),
+			Throughput: float64(r.queries) / secs,
+			Extras: map[string]float64{
+				"updaters":          float64(u),
+				"updates_per_sec":   float64(r.updates) / secs,
+				"rq_attempts":       float64(r.stats.Attempts),
+				"rq_retries":        float64(r.stats.Retries),
+				"rq_escalations":    float64(r.stats.Escalations),
+				"retries_per_query": retPerQ,
+			},
+		}
+		if r.queries > 0 {
+			jr.NsOp = 1e9 * secs / float64(r.queries)
+		}
+		rows = append(rows, jr)
+	}
+	return rows
+}

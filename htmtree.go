@@ -143,6 +143,14 @@ type KV struct {
 	Key, Val uint64
 }
 
+// Agg is the aggregate tuple of a key range: the sum and count of the
+// keys present, and the smallest and largest of them. An empty range
+// has Count == 0 with Min == MaxUint64 and Max == 0 (the merge
+// identities); check Count before trusting Min/Max.
+type Agg struct {
+	Sum, Count, Min, Max uint64
+}
+
 // Config configures a tree. The zero value selects the 3-path algorithm
 // with the paper's default parameters.
 type Config struct {
@@ -326,6 +334,11 @@ type Tree struct {
 	stats      statsSource
 	invariants func(strict bool) error
 
+	// aggStats reports how many aggregate queries were answered by the
+	// O(log n) transactional descent versus the LLX-validated leaf walk
+	// (nil for structures without maintained aggregates, i.e. the BST).
+	aggStats func() (fast, walk uint64)
+
 	// batchCfg templates the pipelines behind NewAsyncHandle and
 	// Handle.Batch; batchCtrs aggregates their flush activity for
 	// Stats.Batch.
@@ -433,7 +446,7 @@ func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 		Engine:          ecfg,
 		SearchOutsideTx: cfg.SearchOutsideTx,
 	})
-	return &Tree{d: t, stats: t, invariants: t.CheckInvariants}, nil
+	return &Tree{d: t, stats: t, invariants: t.CheckInvariants, aggStats: t.AggStats}, nil
 }
 
 // newSharded partitions the key space across cfg.Shards instances built
@@ -490,7 +503,7 @@ func newSharded(cfg Config, mk func(mon *engine.UpdateMonitor) (*Tree, error)) (
 	if ctorErr != nil {
 		return nil, ctorErr
 	}
-	return &Tree{
+	st := &Tree{
 		d:     sd,
 		stats: sd,
 		invariants: func(strict bool) error {
@@ -501,7 +514,18 @@ func newSharded(cfg Config, mk func(mon *engine.UpdateMonitor) (*Tree, error)) (
 			}
 			return sd.CheckPartition()
 		},
-	}, nil
+	}
+	if len(inner) > 0 && inner[0].aggStats != nil {
+		st.aggStats = func() (fast, walk uint64) {
+			for _, t := range inner {
+				f, w := t.aggStats()
+				fast += f
+				walk += w
+			}
+			return fast, walk
+		}
+	}
+	return st, nil
 }
 
 // emptyDict stands in for a shard whose constructor failed; the shard
@@ -611,6 +635,52 @@ func (h *Handle) RangeQuery(lo, hi uint64, out []KV) []KV {
 		out = append(out, KV{Key: p.Key, Val: p.Val})
 	}
 	return out
+}
+
+// RangeAgg returns the aggregate tuple (key sum, count, min, max) of
+// the keys in [lo, hi), atomically with respect to concurrent updates.
+//
+// On an (a,b)-tree it descends transactionally maintained subtree
+// aggregates in O(log n), independent of the range size; on the BST it
+// walks the range (the O(range) control — see ARCHITECTURE.md). On a
+// sharded tree it merges per-shard tuples into a consistent cut, which
+// requires AtomicRangeQueries (or RouterAdaptive); other sharded
+// configurations return an error.
+func (h *Handle) RangeAgg(lo, hi uint64) (Agg, error) {
+	ah, ok := h.h.(dict.AggHandle)
+	if !ok {
+		return Agg{Min: ^uint64(0)}, fmt.Errorf("htmtree: %T does not support aggregate queries", h.h)
+	}
+	a, err := ah.RangeAgg(lo, hi)
+	return Agg{Sum: a.Sum, Count: a.Count, Min: a.Min, Max: a.Max}, err
+}
+
+// RangeSum returns the sum and count of the keys in [lo, hi); see
+// RangeAgg for the atomicity contract and cost model.
+func (h *Handle) RangeSum(lo, hi uint64) (sum, count uint64, err error) {
+	a, err := h.RangeAgg(lo, hi)
+	return a.Sum, a.Count, err
+}
+
+// Count returns the number of keys present. Unlike Tree.KeySum it is
+// atomic with respect to concurrent updates (see RangeAgg).
+func (h *Handle) Count() (uint64, error) {
+	a, err := h.RangeAgg(0, MaxKey+1)
+	return a.Count, err
+}
+
+// Min returns the smallest key present (ok reports whether the tree
+// was non-empty); see RangeAgg for the atomicity contract.
+func (h *Handle) Min() (key uint64, ok bool, err error) {
+	a, err := h.RangeAgg(0, MaxKey+1)
+	return a.Min, a.Count > 0, err
+}
+
+// Max returns the largest key present (ok reports whether the tree was
+// non-empty); see RangeAgg for the atomicity contract.
+func (h *Handle) Max() (key uint64, ok bool, err error) {
+	a, err := h.RangeAgg(0, MaxKey+1)
+	return a.Max, a.Count > 0, err
 }
 
 // AsyncHandle is a per-goroutine asynchronous, batching handle to a
@@ -774,6 +844,16 @@ type PolicyStats struct {
 	Helps uint64
 }
 
+// AggregateStats counts aggregate-query executions by answer path.
+type AggregateStats struct {
+	// Fast counts queries answered by the O(log n) transactional descent
+	// over maintained subtree aggregates, Walk the queries that fell
+	// back to the LLX-validated leaf walk (fallback-path or TLE-locked
+	// executions). Always zero on a BST, whose RangeAgg walks the range
+	// without touching either counter.
+	Fast, Walk uint64
+}
+
 // RebalanceStats counts live shard-rebalancing activity (RouterAdaptive).
 type RebalanceStats struct {
 	// Checks counts imbalance evaluations, Migrations the boundary
@@ -802,6 +882,9 @@ type Stats struct {
 	// Rebalance reports live shard-rebalancing activity; all zero
 	// unless the tree is sharded with RouterAdaptive.
 	Rebalance RebalanceStats
+	// Aggregate reports how aggregate queries (Handle.RangeAgg and
+	// friends) were answered on (a,b)-trees.
+	Aggregate AggregateStats
 	// Batch reports batched/asynchronous execution activity; all zero
 	// until an AsyncHandle (or Handle.Batch context) flushes.
 	Batch BatchStats
@@ -839,6 +922,9 @@ func (t *Tree) Stats() Stats {
 				s.AbortCauses[p.String()+"/"+c.String()] = n
 			}
 		}
+	}
+	if t.aggStats != nil {
+		s.Aggregate.Fast, s.Aggregate.Walk = t.aggStats()
 	}
 	var bs batch.Stats
 	if t.batchCtrs != nil {

@@ -33,6 +33,7 @@ package abtree
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"htmtree/internal/dict"
 	"htmtree/internal/ebr"
@@ -70,6 +71,15 @@ type Node struct {
 	size  htm.Word
 	lkeys []htm.Word
 	lvals []htm.Word
+
+	// Subtree aggregates (agg.go). Every node maintains the sum of the
+	// keys in its subtree in aggSum; internal nodes additionally hold
+	// count/min/max (a leaf derives them from size and lkeys). min/max
+	// hold the sentinels ^0/0 while the subtree is empty.
+	aggSum   htm.Word
+	aggCount htm.Word
+	aggMin   htm.Word
+	aggMax   htm.Word
 }
 
 // Tagged reports the node's tag (exported for tests).
@@ -94,11 +104,13 @@ func newLeaf(clk *htm.Clock, b int, pairs []kv) *Node {
 	}
 	n.hdr.Bind(clk)
 	n.size.Bind(clk)
+	n.aggSum.Bind(clk)
 	for i := 0; i < b; i++ {
 		n.lkeys[i].Bind(clk)
 		n.lvals[i].Bind(clk)
 	}
 	n.size.Init(uint64(len(pairs)))
+	n.aggSum.Init(sumPairs(pairs))
 	for i, p := range pairs {
 		n.lkeys[i].Init(p.k)
 		n.lvals[i].Init(p.v)
@@ -115,10 +127,15 @@ func newInternal(clk *htm.Clock, keys []uint64, children []*Node, tagged bool) *
 		tagged:   tagged,
 	}
 	n.hdr.Bind(clk)
+	n.aggSum.Bind(clk)
+	n.aggCount.Bind(clk)
+	n.aggMin.Bind(clk)
+	n.aggMax.Bind(clk)
 	for i, c := range children {
 		n.children[i].Bind(clk)
 		n.children[i].Init(c)
 	}
+	initAggs(nil, n)
 	return n
 }
 
@@ -169,6 +186,15 @@ type Tree struct {
 	// with updates when validating consistent cuts).
 	sumMu sync.Mutex
 	sumRd *ebr.Thread
+
+	// aggVer is the aggregate seqlock (agg.go): odd exactly while a
+	// non-transactional mutator is between its SCX swing and the
+	// completion of its aggregate fixup.
+	aggVer htm.Word
+
+	// aggFastQ/aggWalkQ count aggregate queries answered by the O(log n)
+	// aggregate descent vs the leaf-walk fallback (Stats.Aggregate).
+	aggFastQ, aggWalkQ atomic.Uint64
 }
 
 // New creates an empty tree.
@@ -196,6 +222,7 @@ func New(cfg Config) *Tree {
 	}
 	t.entry = newInternal(tm.Clock(), nil,
 		[]*Node{newLeaf(tm.Clock(), cfg.B, nil)}, false)
+	t.aggVer.Bind(tm.Clock())
 	t.sumRd = t.eng.ReclaimReader()
 	return t
 }
@@ -230,6 +257,14 @@ type Handle struct {
 	needFix        bool
 	fixMore        bool
 	rqOut          []dict.KV
+	resAgg         dict.Agg
+
+	// path records the internal nodes on an update's search path, root
+	// child first down to the leaf's parent (agg.go maintenance).
+	path []*Node
+	// pend holds rebalance replacement nodes whose aggregate rebuild is
+	// deferred into the non-transactional SCX bracket (prims.scx).
+	pend []pendAgg
 
 	// merge scratch: capacity b+1 so a full leaf plus one pair fits.
 	buf []kv
@@ -242,7 +277,7 @@ type Handle struct {
 	// (internal/nodepool; wired to the tree's node kinds in pool.go).
 	pool *nodepool.Pool[Node]
 
-	insertOp, deleteOp, searchOp, rqOp, fixOp engine.Op
+	insertOp, deleteOp, searchOp, rqOp, fixOp, aggOp engine.Op
 }
 
 var _ dict.Handle = (*Handle)(nil)
@@ -307,72 +342,85 @@ func (t *Tree) KeySum() (sum, count uint64) {
 // nodes, all degrees within [a,b] (root exempt below a), and uniform
 // leaf depth — which must hold whenever all updates have completed,
 // since every update repairs the violations it creates.
+//
+// It always verifies the maintained subtree aggregates: every node's
+// sum/count/min/max cells must equal the tuple recomputed from the
+// leaves beneath it (with the empty-subtree sentinels ^0/0 for
+// min/max), and the aggregate seqlock must be released.
 func (t *Tree) CheckInvariants(strict bool) error {
+	if v := t.aggVer.Get(nil); v&1 != 0 {
+		return fmt.Errorf("abtree: aggregate seqlock held at quiescence (aggVer=%d)", v)
+	}
 	root := t.entry.children[0].Get(nil)
 	leafDepth := -1
-	var walk func(n *Node, lo, hi uint64, depth int, isRoot bool) error
-	walk = func(n *Node, lo, hi uint64, depth int, isRoot bool) error {
+	var walk func(n *Node, lo, hi uint64, depth int, isRoot bool) (dict.Agg, error)
+	walk = func(n *Node, lo, hi uint64, depth int, isRoot bool) (dict.Agg, error) {
+		agg := dict.Agg{Min: aggEmptyMin, Max: aggEmptyMax}
 		if n == nil {
-			return fmt.Errorf("abtree: nil node reachable")
+			return agg, fmt.Errorf("abtree: nil node reachable")
 		}
 		if n.hdr.Marked(nil) {
-			return fmt.Errorf("abtree: reachable marked node at depth %d", depth)
+			return agg, fmt.Errorf("abtree: reachable marked node at depth %d", depth)
 		}
 		if n.leaf {
 			sz := int(n.size.Get(nil))
 			if sz > t.cfg.B {
-				return fmt.Errorf("abtree: leaf size %d exceeds b=%d", sz, t.cfg.B)
+				return agg, fmt.Errorf("abtree: leaf size %d exceeds b=%d", sz, t.cfg.B)
 			}
 			if strict && !isRoot && sz < t.cfg.A {
-				return fmt.Errorf("abtree: underfull leaf (size %d < a=%d)", sz, t.cfg.A)
+				return agg, fmt.Errorf("abtree: underfull leaf (size %d < a=%d)", sz, t.cfg.A)
 			}
 			prev := uint64(0)
 			for i := 0; i < sz; i++ {
 				k := n.lkeys[i].Get(nil)
 				if i > 0 && k <= prev {
-					return fmt.Errorf("abtree: leaf keys unsorted (%d after %d)", k, prev)
+					return agg, fmt.Errorf("abtree: leaf keys unsorted (%d after %d)", k, prev)
 				}
 				if k < lo || k >= hi {
-					return fmt.Errorf("abtree: leaf key %d outside routing range [%d,%d)", k, lo, hi)
+					return agg, fmt.Errorf("abtree: leaf key %d outside routing range [%d,%d)", k, lo, hi)
 				}
 				prev = k
+				agg.Merge(dict.Agg{Sum: k, Count: 1, Min: k, Max: k})
+			}
+			if got := n.aggSum.Get(nil); got != agg.Sum {
+				return agg, fmt.Errorf("abtree: leaf aggSum %d, keys sum to %d", got, agg.Sum)
 			}
 			if strict {
 				if leafDepth == -1 {
 					leafDepth = depth
 				} else if leafDepth != depth {
-					return fmt.Errorf("abtree: leaves at depths %d and %d", leafDepth, depth)
+					return agg, fmt.Errorf("abtree: leaves at depths %d and %d", leafDepth, depth)
 				}
 			}
-			return nil
+			return agg, nil
 		}
 		d := len(n.children)
 		if d != len(n.keys)+1 {
-			return fmt.Errorf("abtree: internal degree %d with %d keys", d, len(n.keys))
+			return agg, fmt.Errorf("abtree: internal degree %d with %d keys", d, len(n.keys))
 		}
 		if d > t.cfg.B {
-			return fmt.Errorf("abtree: internal degree %d exceeds b=%d", d, t.cfg.B)
+			return agg, fmt.Errorf("abtree: internal degree %d exceeds b=%d", d, t.cfg.B)
 		}
 		if d < 1 {
-			return fmt.Errorf("abtree: internal node with no children")
+			return agg, fmt.Errorf("abtree: internal node with no children")
 		}
 		if strict {
 			if n.tagged {
-				return fmt.Errorf("abtree: tagged node survived rebalancing")
+				return agg, fmt.Errorf("abtree: tagged node survived rebalancing")
 			}
 			if !isRoot && d < t.cfg.A {
-				return fmt.Errorf("abtree: underfull internal node (degree %d < a=%d)", d, t.cfg.A)
+				return agg, fmt.Errorf("abtree: underfull internal node (degree %d < a=%d)", d, t.cfg.A)
 			}
 			if isRoot && d < 2 {
-				return fmt.Errorf("abtree: unary root survived rebalancing")
+				return agg, fmt.Errorf("abtree: unary root survived rebalancing")
 			}
 		}
 		for i := 0; i < len(n.keys); i++ {
 			if n.keys[i] < lo || n.keys[i] >= hi {
-				return fmt.Errorf("abtree: routing key %d outside [%d,%d)", n.keys[i], lo, hi)
+				return agg, fmt.Errorf("abtree: routing key %d outside [%d,%d)", n.keys[i], lo, hi)
 			}
 			if i > 0 && n.keys[i] <= n.keys[i-1] {
-				return fmt.Errorf("abtree: routing keys unsorted")
+				return agg, fmt.Errorf("abtree: routing keys unsorted")
 			}
 		}
 		childDepth := depth + 1
@@ -389,11 +437,25 @@ func (t *Tree) CheckInvariants(strict bool) error {
 			if i < len(n.keys) {
 				chi = n.keys[i]
 			}
-			if err := walk(n.children[i].Get(nil), clo, chi, childDepth, false); err != nil {
-				return err
+			ca, err := walk(n.children[i].Get(nil), clo, chi, childDepth, false)
+			if err != nil {
+				return agg, err
 			}
+			agg.Merge(ca)
 		}
-		return nil
+		if got := (dict.Agg{
+			Sum:   n.aggSum.Get(nil),
+			Count: n.aggCount.Get(nil),
+			Min:   n.aggMin.Get(nil),
+			Max:   n.aggMax.Get(nil),
+		}); got != agg {
+			return agg, fmt.Errorf(
+				"abtree: stale aggregates at depth %d: cells {sum %d count %d min %d max %d}, leaves say {sum %d count %d min %d max %d}",
+				depth, got.Sum, got.Count, got.Min, got.Max,
+				agg.Sum, agg.Count, agg.Min, agg.Max)
+		}
+		return agg, nil
 	}
-	return walk(root, 0, ^uint64(0), 0, true)
+	_, err := walk(root, 0, ^uint64(0), 0, true)
+	return err
 }

@@ -42,16 +42,42 @@ func (h *Handle) helpExec(d *engine.HelpDesc) {
 // commit — retire the removed nodes and settle the pool state. A lost
 // install race discards the attempt's unpublished allocations so they
 // cannot be mistaken for published nodes by a later Settle.
+//
+// Aggregate maintenance: when the record changes key content, the
+// whole install/run/fixup span takes the aggVer bracket. The bracket
+// must be held before Install — once installed, any thread's LLX can
+// help perform the swing, so acquiring first is what pins every
+// possible swing instant inside the bracket — and only the installing
+// thread (the one whose Install succeeded) applies the path fixup,
+// giving exactly-once semantics. A value-update insert replaces the
+// leaf with identical key content and needs no bracket.
 func (h *Handle) finishRecord(d *engine.HelpDesc, att *engine.HelpAttempt, removed ...*Node) {
+	needAgg := att.Rec != nil && !(d.Kind == engine.HelpInsert && att.Found)
+	if needAgg {
+		h.t.aggAcquire()
+	}
 	if !d.Install(att) {
+		if needAgg {
+			h.t.aggRelease()
+		}
 		h.beginAttempt() // discard this attempt's unpublished nodes
 		return
 	}
 	if att.Rec.Run() {
+		if needAgg {
+			kind := aggInsert
+			if d.Kind == engine.HelpDelete {
+				kind = aggDelete
+			}
+			h.t.aggFixupNonTx(h, kind, d.Key)
+		}
 		for _, n := range removed {
 			h.remove(n)
 		}
 		h.settle(htm.PathFallback)
+	}
+	if needAgg {
+		h.t.aggRelease()
 	}
 }
 
@@ -103,6 +129,12 @@ func (t *Tree) helpInsert(h *Handle, d *engine.HelpDesc) {
 	h.kbuf = append(h.kbuf[:0], h.buf[lo].k)
 	h.cbuf = append(h.cbuf[:0], left, right)
 	np := h.newInternal(h.kbuf, h.cbuf, p != t.entry)
+	setAggsFromPairs(np, h.buf)
+	// finishRecord's path fixup applies +key to every ancestor of the new
+	// leaf, np included: publish np with the pre-insert sum/count (see
+	// insertBody).
+	np.aggSum.Init(sumPairs(h.buf) - key)
+	np.aggCount.Init(uint64(len(h.buf) - 1))
 	rec := llxscx.NewRecord(v, infos, r, fld, u, np)
 	h.finishRecord(d, &engine.HelpAttempt{Rec: rec, NeedFix: np.tagged}, u)
 }

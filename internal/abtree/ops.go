@@ -19,12 +19,21 @@ func (h *Handle) buildOps() {
 	finish := func(val uint64, found, needFix bool) {
 		h.resVal, h.resFound, h.needFix = val, found, needFix
 	}
+	// Locked (TLE) update and fix bodies run the fast-mode code with a
+	// nil tx, mutating cells non-transactionally; the whole body takes
+	// the aggVer bracket so its aggregate updates are atomic against
+	// transactional readers and against a lagging helped-record
+	// installer's fixup, which runs outside the TLE lock (agg.go).
 	h.insertOp = engine.Op{
 		Site:     engine.NewSite(),
 		Fast:     func(tx *htm.Tx) { t.insertBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
 		Middle:   func(tx *htm.Tx) { t.insertBody(&prims{t: t, h: h, tx: tx, m: modeMiddle}) },
 		Fallback: func() bool { return t.insertBody(&prims{t: t, h: h, m: modeFallback}) },
-		Locked:   func() { t.insertBody(&prims{t: t, h: h, m: modeFast}) },
+		Locked: func() {
+			t.aggAcquire()
+			t.insertBody(&prims{t: t, h: h, m: modeFast})
+			t.aggRelease()
+		},
 		SCXHTM: func(useHTM bool) bool {
 			return t.insertBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
 		},
@@ -40,7 +49,11 @@ func (h *Handle) buildOps() {
 		Fast:     func(tx *htm.Tx) { t.deleteBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
 		Middle:   func(tx *htm.Tx) { t.deleteBody(&prims{t: t, h: h, tx: tx, m: modeMiddle}) },
 		Fallback: func() bool { return t.deleteBody(&prims{t: t, h: h, m: modeFallback}) },
-		Locked:   func() { t.deleteBody(&prims{t: t, h: h, m: modeFast}) },
+		Locked: func() {
+			t.aggAcquire()
+			t.deleteBody(&prims{t: t, h: h, m: modeFast})
+			t.aggRelease()
+		},
 		SCXHTM: func(useHTM bool) bool {
 			return t.deleteBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
 		},
@@ -75,10 +88,30 @@ func (h *Handle) buildOps() {
 		Fast:     func(tx *htm.Tx) { t.fixBody(&prims{t: t, h: h, tx: tx, m: modeFast}) },
 		Middle:   func(tx *htm.Tx) { t.fixBody(&prims{t: t, h: h, tx: tx, m: modeMiddle}) },
 		Fallback: func() bool { return t.fixBody(&prims{t: t, h: h, m: modeFallback}) },
-		Locked:   func() { t.fixBody(&prims{t: t, h: h, m: modeFast}) },
+		Locked: func() {
+			t.aggAcquire()
+			t.fixBody(&prims{t: t, h: h, m: modeFast})
+			t.aggRelease()
+		},
 		SCXHTM: func(useHTM bool) bool {
 			return t.fixBody(&prims{t: t, h: h, m: modeSCXHTM, useHTM: useHTM})
 		},
+	}
+	// Aggregate range query (agg.go): the transactional paths descend via
+	// the aggregate cells; paths without a transaction use the
+	// LLX-validated leaf walk — under the TLE lock the walk still needs
+	// LLX validation because a lagging helped-record installer can swing
+	// a pointer outside the lock.
+	h.aggOp = engine.Op{
+		Site:     engine.NewSite(),
+		Fast:     func(tx *htm.Tx) { t.aggInTx(tx, h) },
+		Middle:   func(tx *htm.Tx) { t.aggInTx(tx, h) },
+		Fallback: func() bool { return t.aggFallback(h) },
+		Locked: func() {
+			for !t.aggFallback(h) {
+			}
+		},
+		SCXHTM: func(bool) bool { return t.aggFallback(h) },
 	}
 	// Pre-wrap the update ops' transactional bodies with the engine's
 	// monitor bump (no-op without a monitor) so Run stays allocation-free.
@@ -174,21 +207,24 @@ func readLeaf(tx *htm.Tx, u *Node, buf *[]kv) {
 	}
 }
 
-// locateForUpdate runs the search phase for insert/delete. Under
-// Section 8 (SearchOutsideTx) the transactional modes search with
-// unsubscribed reads; the template modes revalidate via LLX, the fast
-// mode via explicit marked/link checks.
+// locateForUpdate runs the search phase for insert/delete, recording
+// the internal nodes below the entry sentinel into h.path (the leaf's
+// ancestors, root child first) for aggregate maintenance. Updates
+// always descend with subscribed reads, even under Section 8
+// (SearchOutsideTx): the recorded path receives aggregate deltas at
+// commit, so the transaction must be invalidated if any node on it is
+// replaced — exactly what subscription provides. Searches and range
+// queries keep the unsubscribed-search optimization.
 func (t *Tree) locateForUpdate(pr *prims, key uint64) (p, u *Node, uIdx int) {
-	outside := t.cfg.SearchOutsideTx && pr.tx != nil
-	var stx *htm.Tx
-	if !outside {
-		stx = pr.tx
-	}
-	_, p, u, _, uIdx = t.searchLeaf(stx, key)
-	if outside && pr.m == modeFast {
-		if p.hdr.Marked(pr.tx) || u.hdr.Marked(pr.tx) || p.children[uIdx].Get(pr.tx) != u {
-			pr.tx.Abort(engine.CodeRetry)
-		}
+	h := pr.h
+	h.path = h.path[:0]
+	p = t.entry
+	u = p.children[0].Get(pr.tx)
+	for !u.leaf {
+		p = u
+		h.path = append(h.path, p)
+		uIdx = childIndex(p, key)
+		u = p.children[uIdx].Get(pr.tx)
 	}
 	return p, u, uIdx
 }
@@ -198,6 +234,7 @@ func (t *Tree) locateForUpdate(pr *prims, key uint64) (p, u *Node, uIdx int) {
 func (t *Tree) insertBody(pr *prims) bool {
 	h := pr.h
 	h.beginAttempt()
+	t.aggGuard(pr.tx)
 	key, val := h.argKey, h.argVal
 	b := t.cfg.B
 	p, u, uIdx := t.locateForUpdate(pr, key)
@@ -207,7 +244,7 @@ func (t *Tree) insertBody(pr *prims) bool {
 		pos, found := leafFind(tx, u, key)
 		if found {
 			// Update the value in place — the fast path's node-creation
-			// saving (Section 6.2).
+			// saving (Section 6.2). Values don't feed the aggregates.
 			h.resVal, h.resFound = u.lvals[pos].Get(tx), true
 			h.needFix = false
 			u.lvals[pos].Set(tx, val)
@@ -223,6 +260,8 @@ func (t *Tree) insertBody(pr *prims) bool {
 			u.lkeys[pos].Set(tx, key)
 			u.lvals[pos].Set(tx, val)
 			u.size.Set(tx, uint64(sz+1))
+			u.aggSum.AddAtCommit(tx, key)
+			aggApplyInsert(tx, h.path, key)
 			h.needFix = false
 			return true
 		}
@@ -237,10 +276,13 @@ func (t *Tree) insertBody(pr *prims) bool {
 			u.lvals[i].Set(tx, h.buf[i].v)
 		}
 		u.size.Set(tx, uint64(lo))
+		u.aggSum.Set(tx, sumPairs(h.buf[:lo]))
 		h.kbuf = append(h.kbuf[:0], h.buf[lo].k)
 		h.cbuf = append(h.cbuf[:0], u, right)
 		np := h.newInternal(h.kbuf, h.cbuf, p != t.entry)
+		setAggsFromPairs(np, h.buf)
 		p.children[uIdx].Set(tx, np)
+		aggApplyInsert(tx, h.path, key)
 		h.needFix = np.tagged
 		return true
 	}
@@ -267,6 +309,8 @@ func (t *Tree) insertBody(pr *prims) bool {
 
 	pos, found := findInBuf(h.buf, key)
 	if found {
+		// Value update: the replacement leaf has the same key content, so
+		// no aggregate changes anywhere.
 		h.resVal, h.resFound = h.buf[pos].v, true
 		h.needFix = false
 		h.buf[pos].v = val
@@ -278,8 +322,16 @@ func (t *Tree) insertBody(pr *prims) bool {
 	}
 	h.resVal, h.resFound = 0, false
 	h.buf = insertAt(h.buf, pos, kv{k: key, v: val})
+	// Ancestor aggregates: the middle path rides the transaction (the
+	// deltas commit with the swing); the non-transactional paths record
+	// a fixup for the SCX bracket (prims.scx).
 	if len(h.buf) <= b {
 		h.needFix = false
+		if pr.m == modeMiddle {
+			aggApplyInsert(pr.tx, h.path, key)
+		} else {
+			pr.aggPlan(aggInsert, key)
+		}
 		if !pr.scx(v, infos, r, fld, u, h.newLeaf(h.buf)) {
 			return false
 		}
@@ -294,7 +346,20 @@ func (t *Tree) insertBody(pr *prims) bool {
 	h.kbuf = append(h.kbuf[:0], h.buf[lo].k)
 	h.cbuf = append(h.cbuf[:0], left, right)
 	np := h.newInternal(h.kbuf, h.cbuf, p != t.entry)
+	setAggsFromPairs(np, h.buf)
 	h.needFix = np.tagged
+	if pr.m == modeMiddle {
+		aggApplyInsert(pr.tx, h.path, key)
+	} else {
+		// The SCX bracket's path fixup applies +key to every ancestor of
+		// the new leaf — np, the replacement subtree root, included — so
+		// np must be published with the pre-insert sum/count. Its min/max
+		// may already include key: the fixup's conditional update is a
+		// no-op when the cell already holds the key.
+		np.aggSum.Init(sumPairs(h.buf) - key)
+		np.aggCount.Init(uint64(len(h.buf) - 1))
+		pr.aggPlan(aggInsert, key)
+	}
 	if !pr.scx(v, infos, r, fld, u, np) {
 		return false
 	}
@@ -306,6 +371,7 @@ func (t *Tree) insertBody(pr *prims) bool {
 func (t *Tree) deleteBody(pr *prims) bool {
 	h := pr.h
 	h.beginAttempt()
+	t.aggGuard(pr.tx)
 	key := h.argKey
 	a := t.cfg.A
 	p, u, uIdx := t.locateForUpdate(pr, key)
@@ -320,11 +386,29 @@ func (t *Tree) deleteBody(pr *prims) bool {
 		}
 		h.resVal, h.resFound = u.lvals[pos].Get(tx), true
 		sz := int(u.size.Get(tx))
+		// The leaf's post-delete min/max, read before the shift overwrites
+		// the cells (the ancestor cascade must not read back cells this
+		// transaction has written).
+		cmin, cmax := aggEmptyMin, aggEmptyMax
+		if sz > 1 {
+			if pos == 0 {
+				cmin = u.lkeys[1].Get(tx)
+			} else {
+				cmin = u.lkeys[0].Get(tx)
+			}
+			if pos == sz-1 {
+				cmax = u.lkeys[sz-2].Get(tx)
+			} else {
+				cmax = u.lkeys[sz-1].Get(tx)
+			}
+		}
 		for i := pos; i < sz-1; i++ {
 			u.lkeys[i].Set(tx, u.lkeys[i+1].Get(tx))
 			u.lvals[i].Set(tx, u.lvals[i+1].Get(tx))
 		}
 		u.size.Set(tx, uint64(sz-1))
+		u.aggSum.AddAtCommit(tx, -key)
+		aggApplyDelete(tx, h.path, u, key, cmin, cmax)
 		h.needFix = p != t.entry && sz-1 < a
 		return true
 	}
@@ -351,6 +435,18 @@ func (t *Tree) deleteBody(pr *prims) bool {
 	h.resVal, h.resFound = h.buf[pos].v, true
 	h.buf = append(h.buf[:pos], h.buf[pos+1:]...)
 	h.needFix = p != t.entry && len(h.buf) < a
+	if pr.m == modeMiddle {
+		// The replacement leaf isn't linked yet, so the cascade's skip
+		// pointer is u (still p's child at read time); its post-delete
+		// min/max come from the buffer.
+		cmin, cmax := aggEmptyMin, aggEmptyMax
+		if len(h.buf) > 0 {
+			cmin, cmax = h.buf[0].k, h.buf[len(h.buf)-1].k
+		}
+		aggApplyDelete(pr.tx, h.path, u, key, cmin, cmax)
+	} else {
+		pr.aggPlan(aggDelete, key)
+	}
 	if !pr.scx(
 		[]*llxscx.Hdr{&p.hdr, &u.hdr}, []*llxscx.Info{pi, ui},
 		[]*llxscx.Hdr{&u.hdr}, &p.children[uIdx], u, h.newLeaf(h.buf)) {

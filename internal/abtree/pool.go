@@ -50,6 +50,7 @@ func (h *Handle) newLeaf(pairs []kv) *Node {
 	if recycled {
 		n.hdr.Recycle()
 		n.size.Recycle(uint64(len(pairs)))
+		n.aggSum.Recycle(sumPairs(pairs))
 		for i, p := range pairs {
 			n.lkeys[i].Recycle(p.k)
 			n.lvals[i].Recycle(p.v)
@@ -64,6 +65,8 @@ func (h *Handle) newLeaf(pairs []kv) *Node {
 	}
 	n.size.Bind(h.clk)
 	n.size.Init(uint64(len(pairs)))
+	n.aggSum.Bind(h.clk)
+	n.aggSum.Init(sumPairs(pairs))
 	for i, p := range pairs {
 		n.lkeys[i].Init(p.k)
 		n.lvals[i].Init(p.v)
@@ -103,6 +106,13 @@ func (h *Handle) newInternal(keys []uint64, children []*Node, tagged bool) *Node
 		cc = len(children)
 	}
 	n.keys = append(make([]uint64, 0, ck), keys...)
+	// Aggregate cells: first allocation binds them (callers fill them via
+	// initAggs/setAggsFromPairs before publication); recycled nodes keep
+	// their bindings.
+	n.aggSum.Bind(h.clk)
+	n.aggCount.Bind(h.clk)
+	n.aggMin.Bind(h.clk)
+	n.aggMax.Bind(h.clk)
 	full := make([]htm.Ref[Node], cc)
 	for i := range full {
 		full[i].Bind(h.clk)
@@ -115,7 +125,13 @@ func (h *Handle) newInternal(keys []uint64, children []*Node, tagged bool) *Node
 }
 
 // beginAttempt, remove and settle delegate to the shared pool (see
-// nodepool's attempt-lifecycle contract).
-func (h *Handle) beginAttempt()            { h.pool.BeginAttempt() }
+// nodepool's attempt-lifecycle contract). beginAttempt also drops any
+// deferred aggregate rebuilds a failed attempt left behind: the pool
+// may hand those nodes back out, and a stale rebuild would clobber a
+// node reused with new content.
+func (h *Handle) beginAttempt() {
+	h.pend = h.pend[:0]
+	h.pool.BeginAttempt()
+}
 func (h *Handle) remove(n *Node)           { h.pool.Remove(n) }
 func (h *Handle) settle(path htm.PathKind) { h.pool.Settle(path) }

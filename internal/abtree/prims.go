@@ -37,6 +37,11 @@ type prims struct {
 	// failed is set when a fallback-mode primitive fails; the body must
 	// unwind and return false to the engine.
 	failed bool
+	// aggKind/aggKey describe the aggregate fixup a non-transactional
+	// leaf operation needs after its swing (agg.go aggPlan); scx applies
+	// it inside the aggVer bracket.
+	aggKind aggKind
+	aggKey  uint64
 }
 
 // fail aborts the attempt: transactional modes abort the enclosing
@@ -96,21 +101,39 @@ func (pr *prims) scx(v []*llxscx.Hdr, infos []*llxscx.Info, r []*llxscx.Hdr,
 		llxscx.SCXInTx(pr.tx, &pr.h.e.Tags, v, r)
 		fld.Set(pr.tx, new)
 		return true
-	case modeSCXHTM:
-		if pr.useHTM {
-			ok, _ := llxscx.SCXHTM(pr.h.e.H, htm.PathFast, &pr.h.e.Tags,
-				v, infos, r, fld, new)
-			if !ok {
-				pr.failed = true
+	default: // modeSCXHTM, modeFallback
+		// Non-transactional swing: when aggregate work rides on it
+		// (deferred rebalance rebuilds or a leaf op's path fixup), take
+		// the aggVer bracket so the swing and the fixup form one atomic
+		// step against transactional readers (agg.go).
+		bracket := pr.aggKind != aggNone || len(pr.h.pend) > 0
+		if bracket {
+			pr.t.aggAcquire()
+			for _, pe := range pr.h.pend {
+				if pe.src != nil {
+					aggCopy(nil, pe.dst, pe.src)
+				} else {
+					initAggs(nil, pe.dst)
+				}
 			}
-			return ok
+			pr.h.pend = pr.h.pend[:0]
 		}
-		fallthrough
-	default: // modeFallback
-		if !llxscx.SCXO(v, infos, r, fld, old, new) {
+		var ok bool
+		if pr.m == modeSCXHTM && pr.useHTM {
+			ok, _ = llxscx.SCXHTM(pr.h.e.H, htm.PathFast, &pr.h.e.Tags,
+				v, infos, r, fld, new)
+		} else {
+			ok = llxscx.SCXO(v, infos, r, fld, old, new)
+		}
+		if ok && pr.aggKind != aggNone {
+			pr.t.aggFixupNonTx(pr.h, pr.aggKind, pr.aggKey)
+		}
+		if bracket {
+			pr.t.aggRelease()
+		}
+		if !ok {
 			pr.failed = true
-			return false
 		}
-		return true
+		return ok
 	}
 }

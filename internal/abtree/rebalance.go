@@ -87,6 +87,7 @@ func (h *Handle) runFixLoop() {
 func (t *Tree) fixBody(pr *prims) bool {
 	h := pr.h
 	h.beginAttempt()
+	t.aggGuard(pr.tx)
 	vio := t.findViolation(pr.tx, h.argKey)
 	if vio.kind == vNone {
 		h.fixMore = false
@@ -133,7 +134,9 @@ func (pr *prims) copyNode(n *Node, tagged bool) (*Node, *llxscx.Info, bool) {
 	if !ok {
 		return nil, nil, false
 	}
-	return pr.h.newInternal(n.keys, snap, tagged), info, true
+	nn := pr.h.newInternal(n.keys, snap, tagged)
+	pr.aggInit(nn)
+	return nn, info, true
 }
 
 // fixUntagRoot replaces a tagged root with an untagged copy: the height
@@ -250,8 +253,11 @@ func (t *Tree) fixTag(pr *prims, vio violation) bool {
 	fld := &gp.children[vio.pIdx]
 
 	if len(children) <= b {
-		// Absorb: one untagged replacement for p.
-		if !pr.scx(v, infos, r, fld, p, pr.h.newInternal(keys, children, false)) {
+		// Absorb: one untagged replacement for p, with p's key content —
+		// its aggregates are p's own tuple.
+		repl := pr.h.newInternal(keys, children, false)
+		pr.aggFrom(repl, p)
+		if !pr.scx(v, infos, r, fld, p, repl) {
 			return false
 		}
 		pr.h.remove(p)
@@ -259,11 +265,16 @@ func (t *Tree) fixTag(pr *prims, vio violation) bool {
 		return true
 	}
 	// Split-push-up: two halves under a new parent that inherits the tag
-	// (unless it becomes the root).
+	// (unless it becomes the root). left/right rebuild from their
+	// (pre-existing) children; np, whose children are the new halves,
+	// takes p's tuple — same key content.
 	lo := (len(children) + 1) / 2
 	left := pr.h.newInternal(keys[:lo-1], children[:lo], false)
+	pr.aggInit(left)
 	right := pr.h.newInternal(keys[lo:], children[lo:], false)
+	pr.aggInit(right)
 	np := pr.h.newInternal([]uint64{keys[lo-1]}, []*Node{left, right}, gp != t.entry)
+	pr.aggFrom(np, p)
 	if !pr.scx(v, infos, r, fld, p, np) {
 		return false
 	}
@@ -381,6 +392,7 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 			keys = append(keys, sep)
 			keys = append(keys, right.keys...)
 			m = pr.h.newInternal(keys, append(append(make([]*Node, 0, degL+degR), leftSnap...), rightSnap...), false)
+			pr.aggInit(m)
 		}
 		var repl *Node
 		if gp == t.entry && len(pSnap) == 2 {
@@ -395,6 +407,9 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 			nc = append(nc, m)
 			nc = append(nc, pSnap[ri+1:]...)
 			repl = pr.h.newInternal(nk, nc, false)
+			// repl replaces p with identical key content (m is the join of
+			// p's two children), so it takes p's tuple.
+			pr.aggFrom(repl, p)
 		}
 		if !pr.scx(v, infos, r, fld, p, repl) {
 			return false
@@ -421,7 +436,9 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 		allK = append(allK, sep)
 		allK = append(allK, right.keys...)
 		nl = pr.h.newInternal(allK[:lo-1], allC[:lo], false)
+		pr.aggInit(nl)
 		nr = pr.h.newInternal(allK[lo:], allC[lo:], false)
+		pr.aggInit(nr)
 		newSep = allK[lo-1]
 	}
 	nk := append([]uint64(nil), p.keys...)
@@ -429,7 +446,9 @@ func (t *Tree) fixUnderfull(pr *prims, vio violation) bool {
 	nc := make([]*Node, len(pSnap))
 	copy(nc, pSnap)
 	nc[li], nc[ri] = nl, nr
-	if !pr.scx(v, infos, r, fld, p, pr.h.newInternal(nk, nc, false)) {
+	repl := pr.h.newInternal(nk, nc, false)
+	pr.aggFrom(repl, p)
+	if !pr.scx(v, infos, r, fld, p, repl) {
 		return false
 	}
 	pr.h.remove(p)

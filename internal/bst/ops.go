@@ -103,6 +103,35 @@ func (h *Handle) RangeQuery(lo, hi uint64, out []dict.KV) []dict.KV {
 	return append(out, h.rqOut...)
 }
 
+// RangeAgg returns the aggregate tuple of the keys in [lo, hi) by
+// walking the range — the BST deliberately keeps the O(range)
+// implementation behind dict.AggHandle as the control for the
+// walk-vs-aggregate ablation (the (a,b)-tree answers in O(log n) from
+// maintained subtree aggregates). Steady-state queries reuse the
+// retained range buffer, so they stay allocation-free.
+func (h *Handle) RangeAgg(lo, hi uint64) (dict.Agg, error) {
+	if hi > dict.MaxKey+1 {
+		hi = dict.MaxKey + 1
+	}
+	h.argLo, h.argHi = lo, hi
+	h.rqOut = h.rqOut[:0]
+	h.e.Run(h.rqOp)
+	agg := dict.Agg{Min: ^uint64(0), Max: 0}
+	for _, p := range h.rqOut {
+		agg.Sum += p.Key
+		agg.Count++
+		if p.Key < agg.Min {
+			agg.Min = p.Key
+		}
+		if p.Key > agg.Max {
+			agg.Max = p.Key
+		}
+	}
+	return agg, nil
+}
+
+var _ dict.AggHandle = (*Handle)(nil)
+
 func checkKey(key uint64) {
 	if key > dict.MaxKey {
 		panic(fmt.Sprintf("bst: key %d exceeds dict.MaxKey", key))

@@ -14,6 +14,40 @@ type KV struct {
 // for the data structures' internal sentinels.
 const MaxKey = ^uint64(0) - 8
 
+// Agg is the aggregate tuple of a key range: the sum and count of the
+// keys, and the smallest and largest key. Min and Max are meaningful
+// only when Count > 0; an empty range holds the sentinels
+// Min = ^uint64(0), Max = 0 (no client key is ^uint64(0), and a true
+// maximum of 0 coincides with the sentinel harmlessly).
+type Agg struct {
+	Sum, Count, Min, Max uint64
+}
+
+// Merge folds o into a (the cross-subtree / cross-shard combiner).
+func (a *Agg) Merge(o Agg) {
+	a.Sum += o.Sum
+	a.Count += o.Count
+	if o.Count > 0 {
+		if o.Min < a.Min {
+			a.Min = o.Min
+		}
+		if o.Max > a.Max {
+			a.Max = o.Max
+		}
+	}
+}
+
+// AggHandle is optionally implemented by handles that answer aggregate
+// range queries. Structures with maintained subtree aggregates (the
+// (a,b)-tree) answer in O(log n); the BST walks the range — the
+// documented control for the walk-vs-aggregate ablation. The error is
+// always nil for unsharded trees; the sharded dictionary rejects
+// aggregate queries when its configuration cannot make them atomic.
+type AggHandle interface {
+	// RangeAgg returns the aggregate tuple of the keys in [lo, hi).
+	RangeAgg(lo, hi uint64) (Agg, error)
+}
+
 // Handle is a per-thread handle to a dictionary. A Handle must be used
 // by one goroutine at a time; create one per worker.
 type Handle interface {

@@ -150,7 +150,7 @@ func (w *Word) Get(tx *Tx) uint64 {
 			}
 		}
 	}
-	if buf, ok := tx.findWrite(w); ok {
+	if buf, ok := tx.findWrite(&w.ver); ok {
 		return buf.word
 	}
 	v := tx.readVersion(&w.ver)
@@ -208,7 +208,7 @@ func (w *Word) Set(tx *Tx, v uint64) {
 		w.ver.Store(nv << 1)
 		return
 	}
-	tx.logWrite(w, v, nil, false)
+	tx.logWrite(w, &w.ver, v, nil, false)
 }
 
 // CAS atomically replaces old with new and reports whether it did. Inside
@@ -253,7 +253,7 @@ func (w *Word) AddAtCommit(tx *Tx, delta uint64) {
 		w.Add(delta)
 		return
 	}
-	tx.logAdd(w, delta)
+	tx.logAdd(w, &w.ver, delta)
 }
 
 // Add atomically adds delta (which may be negative via two's complement)
@@ -333,7 +333,7 @@ func (r *Ref[T]) Get(tx *Tx) *T {
 			}
 		}
 	}
-	if buf, ok := tx.findWrite(r); ok {
+	if buf, ok := tx.findWrite(&r.ver); ok {
 		if buf.ptr == nil {
 			return nil
 		}
@@ -363,7 +363,7 @@ func (r *Ref[T]) Set(tx *Tx, p *T) {
 	if p != nil {
 		boxed = p
 	}
-	tx.logWrite(r, 0, boxed, true)
+	tx.logWrite(r, &r.ver, 0, boxed, true)
 }
 
 // CAS atomically replaces old with new (pointer identity) and reports

@@ -165,7 +165,13 @@ type readEntry struct {
 }
 
 type writeEntry struct {
-	c       cell
+	c cell
+	// ver caches c.version(): the address of the cell's version word,
+	// unique per cell, so write-set membership scans compare one pointer
+	// instead of two interface words (runtime.ifaceeq showed up as the
+	// single hottest function once aggregate maintenance grew the write
+	// set to ~2 entries per tree level).
+	ver     *atomic.Uint64
 	word    uint64
 	ptr     any
 	isPtr   bool
@@ -280,9 +286,14 @@ func (tx *Tx) logRead(ver *atomic.Uint64, seen uint64) {
 	tx.reads = append(tx.reads, readEntry{ver: ver, seen: seen})
 }
 
-func (tx *Tx) logWrite(c cell, word uint64, ptr any, isPtr bool) {
+// logWrite, logAdd and findWrite take the cell's version-word address
+// from the caller (a concrete field access) rather than calling
+// c.version() through the interface: the scans run on every
+// transactional access, so both the dynamic dispatch and the interface
+// comparison it would take to dedup entries are measurable.
+func (tx *Tx) logWrite(c cell, ver *atomic.Uint64, word uint64, ptr any, isPtr bool) {
 	for i := len(tx.writes) - 1; i >= 0; i-- {
-		if tx.writes[i].c == c {
+		if tx.writes[i].ver == ver {
 			if tx.writes[i].isAdd {
 				panic("htm: Set on a cell with a pending AddAtCommit")
 			}
@@ -293,14 +304,14 @@ func (tx *Tx) logWrite(c cell, word uint64, ptr any, isPtr bool) {
 		}
 	}
 	tx.admitWrite(len(tx.writes))
-	tx.writes = append(tx.writes, writeEntry{c: c, word: word, ptr: ptr, isPtr: isPtr})
+	tx.writes = append(tx.writes, writeEntry{c: c, ver: ver, word: word, ptr: ptr, isPtr: isPtr})
 }
 
 // logAdd queues a commutative increment (see Word.AddAtCommit). Repeated
 // adds to the same cell accumulate; mixing with Set is unsupported.
-func (tx *Tx) logAdd(c cell, delta uint64) {
+func (tx *Tx) logAdd(c cell, ver *atomic.Uint64, delta uint64) {
 	for i := len(tx.writes) - 1; i >= 0; i-- {
-		if tx.writes[i].c == c {
+		if tx.writes[i].ver == ver {
 			if !tx.writes[i].isAdd {
 				panic("htm: AddAtCommit on a cell already written in this transaction")
 			}
@@ -310,15 +321,16 @@ func (tx *Tx) logAdd(c cell, delta uint64) {
 		}
 	}
 	tx.admitWrite(len(tx.writes))
-	tx.writes = append(tx.writes, writeEntry{c: c, word: delta, isAdd: true})
+	tx.writes = append(tx.writes, writeEntry{c: c, ver: ver, word: delta, isAdd: true})
 }
 
-// findWrite reports whether c is in the write set and returns its entry.
-// A cell with a pending commutative increment cannot be read back (its
-// final value is only known at commit).
-func (tx *Tx) findWrite(c cell) (*writeEntry, bool) {
+// findWrite reports whether the cell with the given version word is in
+// the write set and returns its entry. A cell with a pending commutative
+// increment cannot be read back (its final value is only known at
+// commit).
+func (tx *Tx) findWrite(ver *atomic.Uint64) (*writeEntry, bool) {
 	for i := len(tx.writes) - 1; i >= 0; i-- {
-		if tx.writes[i].c == c {
+		if tx.writes[i].ver == ver {
 			if tx.writes[i].isAdd {
 				panic("htm: transactional read of a cell with a pending AddAtCommit")
 			}
@@ -332,7 +344,7 @@ func (tx *Tx) findWrite(c cell) (*writeEntry, bool) {
 // write set (and therefore locked by this transaction during commit).
 func (tx *Tx) ownsLock(ver *atomic.Uint64) bool {
 	for i := range tx.writes {
-		if tx.writes[i].c.version() == ver {
+		if tx.writes[i].ver == ver {
 			return true
 		}
 	}
@@ -344,7 +356,7 @@ func (tx *Tx) ownsLock(ver *atomic.Uint64) bool {
 func (tx *Tx) releaseLocks(n int) {
 	for i := 0; i < n; i++ {
 		w := &tx.writes[i]
-		w.c.version().Store(w.prevVer)
+		w.ver.Store(w.prevVer)
 	}
 }
 
@@ -357,7 +369,7 @@ func (tx *Tx) commit() AbortCause {
 	}
 	for i := range tx.writes {
 		w := &tx.writes[i]
-		ver := w.c.version()
+		ver := w.ver
 		v := ver.Load()
 		if v&lockBit != 0 || !ver.CompareAndSwap(v, v|lockBit) {
 			// Abort rather than wait: this is how HTM resolves
@@ -395,7 +407,7 @@ func (tx *Tx) commit() AbortCause {
 		default:
 			w.c.applyWord(w.word)
 		}
-		w.c.version().Store(nv)
+		w.ver.Store(nv)
 	}
 	return CauseNone
 }

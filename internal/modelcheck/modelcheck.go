@@ -56,6 +56,26 @@ func (md *Model) RangeQuery(lo, hi uint64) (keys, vals []uint64) {
 	return keys, vals
 }
 
+// RangeAgg returns the sum, count, minimum and maximum of the keys in
+// [lo, hi). An empty range reports min = MaxUint64 and max = 0, the
+// merge identities the dictionaries use.
+func (md *Model) RangeAgg(lo, hi uint64) (sum, count, min, max uint64) {
+	min = ^uint64(0)
+	for k := range md.m {
+		if k >= lo && k < hi {
+			sum += k
+			count++
+			if k < min {
+				min = k
+			}
+			if k > max {
+				max = k
+			}
+		}
+	}
+	return sum, count, min, max
+}
+
 // KeySum returns the sum and count of the keys present.
 func (md *Model) KeySum() (sum, count uint64) {
 	for k := range md.m {

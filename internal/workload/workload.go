@@ -4,7 +4,9 @@
 // workloads (n-1 update threads plus one thread performing range queries
 // whose lengths follow the ⌊x²·S⌋+1 distribution), timed trials
 // measuring completed operations per second, and per-thread key-sum
-// checksums validating every trial.
+// checksums validating every trial. An analytics workload (beyond the
+// paper) swaps the heavy workload's range-query thread for one issuing
+// aggregate queries over maintained subtree aggregates.
 package workload
 
 import (
@@ -30,6 +32,13 @@ type Kind uint8
 const (
 	Light Kind = iota + 1 // n update threads
 	Heavy                 // n-1 update threads + 1 range-query thread
+	// Analytics is Heavy with the query thread issuing aggregate
+	// queries (dict.AggHandle.RangeAgg) instead of range queries, over
+	// the same ⌊x²·S⌋+1 length distribution: the PR 8 analytics mix.
+	// The dictionary must implement aggregate queries (on a sharded
+	// dictionary that additionally requires Atomic); a spec that does
+	// not is a driver bug and panics.
+	Analytics
 )
 
 // String returns the paper's name for the workload.
@@ -39,6 +48,8 @@ func (k Kind) String() string {
 		return "light"
 	case Heavy:
 		return "heavy"
+	case Analytics:
+		return "analytics"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -128,8 +139,9 @@ type ShardInfo interface {
 type Result struct {
 	// Ops is the number of operations completed in the window.
 	Ops uint64
-	// UpdateOps and RQOps split Ops by operation class.
-	UpdateOps, RQOps uint64
+	// UpdateOps, RQOps and AggOps split Ops by operation class
+	// (AggOps counts the Analytics workload's aggregate queries).
+	UpdateOps, RQOps, AggOps uint64
 	// Throughput is Ops per second.
 	Throughput float64
 	// PathStats counts operation completions per execution path over the
@@ -179,10 +191,10 @@ func shardOpTotals(sd *shard.Dict) []uint64 {
 // after every worker stopped (they also pad deltas apart, so the hot
 // counters of adjacent threads no longer share cache lines).
 type delta struct {
-	ops, updates, rqs uint64
-	sum               int64
-	count             int64
-	lat               hist.Hist
+	ops, updates, rqs, aggs uint64
+	sum                     int64
+	count                   int64
+	lat                     hist.Hist
 }
 
 // runBatchedUpdater is an update thread's loop when Config.BatchOps
@@ -342,13 +354,21 @@ func Run(d dict.Dict, cfg Config) Result {
 			h := d.NewHandle()
 			rng := xrand.New(cfg.Seed, uint64(i)+1)
 			isRQ := cfg.Kind == Heavy && i == cfg.Threads-1
+			isAgg := cfg.Kind == Analytics && i == cfg.Threads-1
+			var ah dict.AggHandle
+			if isAgg {
+				var ok bool
+				if ah, ok = h.(dict.AggHandle); !ok {
+					panic(fmt.Sprintf("workload: Analytics needs aggregate queries, but %T does not implement dict.AggHandle", h))
+				}
+			}
 			klo, khi := updaterInterval(d, cfg, i)
 			gen := keyGen(cfg, zg, klo, khi)
 			var out []dict.KV
 			ready.Done()
 			<-start
 			st := &deltas[i]
-			if !isRQ && cfg.BatchOps > 1 {
+			if !isRQ && !isAgg && cfg.BatchOps > 1 {
 				runBatchedUpdater(h, cfg, rng, gen, st, &stop)
 				return
 			}
@@ -358,7 +378,13 @@ func Run(d dict.Dict, cfg Config) Result {
 				if measure {
 					t0 = time.Now()
 				}
-				if isRQ {
+				if isAgg {
+					lo := rng.Uint64n(cfg.KeyRange) + 1
+					if _, err := ah.RangeAgg(lo, lo+RQLen(rng, cfg.RQSizeMax)); err != nil {
+						panic(fmt.Sprintf("workload: aggregate query failed: %v", err))
+					}
+					st.aggs++
+				} else if isRQ {
 					lo := rng.Uint64n(cfg.KeyRange) + 1
 					out = h.RangeQuery(lo, lo+RQLen(rng, cfg.RQSizeMax), out[:0])
 					st.rqs++
@@ -403,13 +429,14 @@ func Run(d dict.Dict, cfg Config) Result {
 		res.Ops += deltas[i].ops
 		res.UpdateOps += deltas[i].updates
 		res.RQOps += deltas[i].rqs
+		res.AggOps += deltas[i].aggs
 		deltaSum += deltas[i].sum
 		deltaCount += deltas[i].count
 		if cfg.MeasureLatency {
-			// The heavy workload's dedicated RQ thread is the last one;
-			// its histogram holds range-query latencies, every other
-			// thread's holds update latencies.
-			if cfg.Kind == Heavy && i == cfg.Threads-1 {
+			// The heavy and analytics workloads' dedicated query thread
+			// is the last one; its histogram holds query latencies,
+			// every other thread's holds update latencies.
+			if (cfg.Kind == Heavy || cfg.Kind == Analytics) && i == cfg.Threads-1 {
 				res.RQLatency.Merge(&deltas[i].lat)
 			} else {
 				res.Latency.Merge(&deltas[i].lat)
