@@ -164,3 +164,53 @@ func TestAllocGateLatencyCapture(t *testing.T) {
 		t.Fatal("capture recorded nothing")
 	}
 }
+
+// TestAllocGateObservedPointOps gates the PR 9 observability layer:
+// steady-state point operations on a tree built with
+// Config.Observability — latency sampling, flight-recorder events and
+// trace regions armed at their defaults — must still not allocate. The
+// instrumentation was designed for this: metric families are read
+// closures over counters the engine already maintains, sampled latencies
+// land in a preallocated atomic histogram, events are four atomic word
+// stores into a preallocated ring, and the trace region is the
+// runtime's shared no-op when tracing is off.
+func TestAllocGateObservedPointOps(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(htmtree.Config) (*htmtree.Tree, error)
+	}{
+		{"bst", htmtree.NewBST},
+		{"abtree", htmtree.NewABTree},
+		{"sharded-abtree", htmtree.NewShardedABTree},
+	} {
+		tree, err := tc.mk(htmtree.Config{Observability: &htmtree.ObsConfig{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Obs() == nil {
+			t.Fatalf("%s: Observability set but Obs() == nil", tc.name)
+		}
+		h := tree.NewHandle()
+		for k := uint64(1); k <= gateKeys; k++ {
+			h.Insert(k, k)
+		}
+		k := uint64(gateKeys / 2)
+		for i := 0; i < gateWarmups; i++ {
+			h.Delete(k)
+			h.Insert(k, k)
+		}
+		gateCheck(t, tc.name+" observed delete+insert", testing.AllocsPerRun(200, func() {
+			h.Delete(k)
+			h.Insert(k, k)
+		}))
+		gateCheck(t, tc.name+" observed search", testing.AllocsPerRun(200, func() {
+			h.Search(k)
+		}))
+		if tree.Obs().LatencySnapshot().Count() == 0 {
+			t.Errorf("%s: no sampled latencies recorded", tc.name)
+		}
+		if len(tree.Obs().Events()) == 0 {
+			t.Errorf("%s: no flight-recorder events recorded", tc.name)
+		}
+	}
+}

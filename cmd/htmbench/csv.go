@@ -5,18 +5,21 @@ import (
 	"strings"
 
 	"htmtree/internal/hist"
+	"htmtree/internal/obs"
 )
 
 // schemaVersion stamps every CSV row (first column) and JSON row
-// ("schema" field). Bump it whenever a column or field changes meaning,
-// so committed BENCH_*.json baselines and scraped CSV stay diffable
-// across repository revisions.
+// ("schema" field). It is the observability layer's obs.SchemaVersion —
+// one stamp shared by the bench artifacts and the live /vars endpoint,
+// bumped whenever a column or field changes meaning, so committed
+// BENCH_*.json baselines, scraped CSV and endpoint snapshots stay
+// diffable across repository revisions.
 //
 // v2: uniform CSV column set across all experiments (one header for the
 // whole run, experiment-specific counters folded into the extras
 // column) and latency quantile columns; JSON rows gain schema,
 // p50/p99/p999 and the policy "helps" counter.
-const schemaVersion = 2
+const schemaVersion = obs.SchemaVersion
 
 // csvHeader prints the single uniform header every experiment's rows
 // share. Before v2 each experiment printed its own ad-hoc column set,

@@ -122,7 +122,7 @@ func jsonExperiments(o options) error {
 					HTM:       o.htmCfg(htm.Config{}),
 					Policy:    o.policy,
 				}
-				med, res := trial(o, spec.New, workload.Config{
+				med, res := trial(o, o.mkSpec(spec), workload.Config{
 					Threads:        n,
 					Duration:       o.duration,
 					KeyRange:       ds.keyRange,

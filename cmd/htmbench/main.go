@@ -41,6 +41,11 @@
 //	                      lock-free lock, p50/p99/p999 per variant
 //	                      (beyond the paper: the lock-free-locks
 //	                      fallback)
+//	-experiment obsoverhead instrumented (Config.Observability with
+//	                      default sampling) vs uninstrumented point-op
+//	                      throughput and tail latency, both trees,
+//	                      unsharded and sharded — the observability
+//	                      layer's measured price against its <=5% budget
 //	-experiment all       everything above
 //
 // Every experiment emits rows of one uniform, version-stamped CSV
@@ -55,6 +60,11 @@
 // committed BENCH_*.json files. With `-experiment oversub` the JSON
 // output is instead the oversubscription artifact: both fallback
 // variants with their full latency histograms embedded.
+//
+// -http serves the live observability endpoint while the experiments
+// run: Prometheus /metrics, JSON /vars, the flight-recorder /events
+// dump and /debug/pprof/, all scraping the tree currently under
+// measurement (every tree is then built with Config.Observability).
 //
 // -experiment also accepts a comma-separated list (e.g.
 // "skew,rqconsistency"). The -shards flag partitions every tree in the
@@ -87,6 +97,7 @@ import (
 	"htmtree/internal/htm"
 	"htmtree/internal/hybridnorec"
 	"htmtree/internal/kcas"
+	"htmtree/internal/obs"
 	"htmtree/internal/shard"
 	"htmtree/internal/workload"
 	"htmtree/internal/xrand"
@@ -109,6 +120,32 @@ type options struct {
 	format     string
 	spurious   uint64
 	policy     string
+	httpAddr   string
+	// obsCfg, set when -http is given, instruments every tree the
+	// workload.Spec paths build and publishes it as the live endpoint's
+	// scrape source.
+	obsCfg *obs.Config
+}
+
+// liveObs is the tree currently under measurement, scraped by the -http
+// endpoint; trials swap it as they construct fresh instances.
+var liveObs atomic.Pointer[obs.Obs]
+
+// newDict constructs sp's dictionary — instrumented and published as
+// the live observability source when -http is serving.
+func (o options) newDict(sp workload.Spec) dict.Dict {
+	if o.obsCfg == nil {
+		return sp.New()
+	}
+	sp.Observe = o.obsCfg
+	d, ob := sp.NewObserved()
+	liveObs.Store(ob)
+	return d
+}
+
+// mkSpec adapts newDict to trial's fresh-instance constructor shape.
+func (o options) mkSpec(sp workload.Spec) func() dict.Dict {
+	return func() dict.Dict { return o.newDict(sp) }
 }
 
 // htmCfg merges the -spurious flag into an experiment's HTM config
@@ -131,7 +168,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|rangeagg|skew|batchamortize|abortpolicy|oversub, or all")
+		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|rangeagg|skew|batchamortize|abortpolicy|oversub|obsoverhead, or all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -148,6 +185,8 @@ func run() error {
 		"inject a simulated spurious abort every N transactional accesses (0 = none); experiments that pin their own HTM profile keep it")
 	flag.StringVar(&o.policy, "policy", "adaptive",
 		"engine retry policy for all experiments: adaptive|static (abortpolicy compares both regardless)")
+	flag.StringVar(&o.httpAddr, "http", "",
+		"serve the live observability endpoint on this address while experiments run (e.g. :6060): /metrics, /vars, /events, /debug/pprof/; every tree is then built instrumented")
 	flag.StringVar(&o.format, "format", "csv",
 		"output format: csv runs the selected -experiment tables; json runs the machine-readable baseline suite (structure x light/heavy x 1/N shards with throughput, ns/op, steady-state allocs/op and per-path counts) used for the committed BENCH_*.json trajectory")
 	flag.Parse()
@@ -175,6 +214,18 @@ func run() error {
 		return fmt.Errorf("bad -format %q (want csv or json)", o.format)
 	}
 
+	if o.httpAddr != "" {
+		o.obsCfg = &obs.Config{}
+		srv, err := obs.Serve(o.httpAddr, liveObs.Load)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr,
+			"htmbench: observability endpoint on http://%s (/metrics, /vars, /events, /debug/pprof/)\n",
+			srv.Addr())
+	}
+
 	for _, part := range strings.Split(threadsFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
@@ -192,7 +243,7 @@ func run() error {
 		if e == "all" {
 			exps = append(exps, "fig14", "fig16", "fig17", "pathusage", "sec8",
 				"sec10", "headline", "shardscale", "rqconsistency", "rangeagg",
-				"skew", "batchamortize", "abortpolicy", "oversub")
+				"skew", "batchamortize", "abortpolicy", "oversub", "obsoverhead")
 			continue
 		}
 		exps = append(exps, e)
@@ -203,7 +254,7 @@ func run() error {
 		switch e {
 		case "fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
 			"headline", "shardscale", "rqconsistency", "rangeagg", "skew",
-			"batchamortize", "abortpolicy", "oversub":
+			"batchamortize", "abortpolicy", "oversub", "obsoverhead":
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -212,6 +263,9 @@ func run() error {
 	if o.format == "json" {
 		if len(exps) == 1 && exps[0] == "oversub" {
 			return oversubJSON(o)
+		}
+		if len(exps) == 1 && exps[0] == "obsoverhead" {
+			return obsOverheadJSON(o)
 		}
 		return jsonExperiments(o)
 	}
@@ -247,6 +301,8 @@ func run() error {
 			abortPolicy(o)
 		case "oversub":
 			oversub(o)
+		case "obsoverhead":
+			obsOverhead(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -277,7 +333,7 @@ type dsSpec struct {
 func specs(o options) []dsSpec {
 	mk := func(structure string, keyRange uint64) func(engine.Algorithm, bool, htm.Config) dict.Dict {
 		return func(alg engine.Algorithm, so bool, hc htm.Config) dict.Dict {
-			return workload.Spec{
+			return o.newDict(workload.Spec{
 				Structure:       structure,
 				Algorithm:       alg,
 				Shards:          o.shards,
@@ -286,7 +342,7 @@ func specs(o options) []dsSpec {
 				SearchOutsideTx: so,
 				HTM:             o.htmCfg(hc),
 				Policy:          o.policy,
-			}.New()
+			})
 		}
 	}
 	// Sharded runs are labeled "bst/x8" (plus a router suffix for
@@ -527,7 +583,7 @@ func shardScale(o options) {
 					pinnedModes = append(pinnedModes, true)
 				}
 				for _, pinned := range pinnedModes {
-					med, _ := trial(o, spec.New, workload.Config{
+					med, _ := trial(o, o.mkSpec(spec), workload.Config{
 						Threads:     n,
 						Duration:    o.duration,
 						KeyRange:    ds.keyRange,
@@ -598,7 +654,7 @@ func skew(o options) {
 				HTM:               o.htmCfg(htm.Config{}),
 				Policy:            o.policy,
 			}
-			med, res := trial(o, spec.New, workload.Config{
+			med, res := trial(o, o.mkSpec(spec), workload.Config{
 				Threads:   n,
 				Duration:  o.duration,
 				KeyRange:  ds.keyRange,
@@ -663,7 +719,7 @@ func batchAmortize(o options) {
 				HTM:               o.htmCfg(htm.Config{}),
 				Policy:            o.policy,
 			}
-			med, res := trial(o, spec.New, workload.Config{
+			med, res := trial(o, o.mkSpec(spec), workload.Config{
 				Threads:  n,
 				Duration: o.duration,
 				KeyRange: ds.keyRange,
@@ -743,7 +799,7 @@ func abortPolicy(o options) {
 					HTM:       prof.hc,
 					Policy:    policy,
 				}
-				med, res := trial(o, spec.New, workload.Config{
+				med, res := trial(o, o.mkSpec(spec), workload.Config{
 					Threads:   n,
 					Duration:  o.duration,
 					KeyRange:  ds.keyRange,
@@ -831,7 +887,7 @@ func rqConsistency(o options) {
 					HTM:       o.htmCfg(htm.Config{}),
 					Policy:    o.policy,
 				}
-				d := spec.New()
+				d := o.newDict(spec)
 				hp := d.NewHandle()
 				for k := uint64(1); k <= keyRange; k += 2 { // prefill half the keys
 					hp.Insert(k, k)

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/hist"
+	"htmtree/internal/htm"
+	"htmtree/internal/obs"
+	"htmtree/internal/workload"
+)
+
+// The obsoverhead experiment measures the observability layer's price:
+// point-operation throughput and tail latency with Config.Observability
+// at its default sampling (latency and hot flight-recorder events each
+// 1/64, per-thread recorders on) against the uninstrumented baseline —
+// both structures, unsharded and sharded, 3-path, light workload at the
+// max thread count. The instrumented rows carry overhead_pct, the
+// throughput cost relative to their paired baseline; CI guards it
+// against the <= 5% budget.
+
+// obsOverheadRow is one measured configuration.
+type obsOverheadRow struct {
+	structure   string
+	shards      int
+	observed    int // 0 = baseline, 1 = instrumented
+	throughput  float64
+	lat         *hist.Hist
+	paths       map[string]uint64
+	overheadPct float64 // instrumented rows only
+}
+
+// obsOverheadMeasurements runs the sweep. For each structure and shard
+// count it runs o.trials *interleaved pairs* — one uninstrumented
+// trial, then its instrumented twin with the same seed, back to back —
+// and derives the overhead from the median of the per-pair throughput
+// ratios. Pairing cancels the slow host drift (thermal, scheduler,
+// co-tenant noise) that swamps a few-percent effect when all baseline
+// trials run before all instrumented ones.
+func obsOverheadMeasurements(o options, n, shards int) []obsOverheadRow {
+	var out []obsOverheadRow
+	for _, ds := range []struct {
+		structure string
+		keyRange  uint64
+	}{{"bst", o.bstKeys}, {"abtree", o.abKeys}} {
+		for _, sh := range []int{1, shards} {
+			spec := workload.Spec{
+				Structure: ds.structure,
+				Algorithm: engine.AlgThreePath,
+				Shards:    sh,
+				KeySpan:   ds.keyRange,
+				HTM:       o.htmCfg(htm.Config{}),
+				Policy:    o.policy,
+			}
+			// The baseline deliberately bypasses o.newDict: with -http
+			// serving, newDict instruments every tree, which would erase
+			// the very difference this experiment measures.
+			mkBase := spec.New
+			obsSpec := spec
+			obsSpec.Observe = &obs.Config{}
+			mkObs := func() dict.Dict {
+				d, ob := obsSpec.NewObserved()
+				liveObs.Store(ob)
+				return d
+			}
+			cfg := workload.Config{
+				Threads:        n,
+				Duration:       o.duration,
+				KeyRange:       ds.keyRange,
+				Kind:           workload.Light,
+				MeasureLatency: true,
+			}
+			if o.zipf > 0 {
+				cfg.Dist = workload.DistZipf
+				cfg.ZipfTheta = o.zipf
+			}
+			var (
+				baseT, obsT, ratios []float64
+				results             [2]workload.Result
+			)
+			for i := 0; i < o.trials; i++ {
+				cfg.Seed = o.seed + uint64(i)*7919
+				// Alternate which twin runs first and collect the GC debt
+				// of the previous tree before each run, so neither
+				// position in the pair systematically inherits the
+				// other's garbage or cache state.
+				order := []int{0, 1}
+				if i%2 == 1 {
+					order = []int{1, 0}
+				}
+				for _, which := range order {
+					runtime.GC()
+					if which == 0 {
+						results[0] = workload.Run(mkBase(), cfg)
+					} else {
+						results[1] = workload.Run(mkObs(), cfg)
+					}
+				}
+				for _, res := range results {
+					if !res.KeySumOK {
+						fmt.Fprintf(os.Stderr, "WARNING: key-sum validation FAILED (%+v)\n", cfg)
+					}
+				}
+				baseT = append(baseT, results[0].Throughput)
+				obsT = append(obsT, results[1].Throughput)
+				if results[0].Throughput > 0 {
+					ratios = append(ratios, results[1].Throughput/results[0].Throughput)
+				}
+			}
+			overhead := 0.0
+			if len(ratios) > 0 {
+				sort.Float64s(ratios)
+				overhead = 100 * (1 - ratios[len(ratios)/2])
+			}
+			for observed, res := range results {
+				tputs := baseT
+				if observed == 1 {
+					tputs = obsT
+				}
+				sort.Float64s(tputs)
+				r := obsOverheadRow{
+					structure:  ds.structure,
+					shards:     sh,
+					observed:   observed,
+					throughput: tputs[len(tputs)/2],
+					lat:        res.Latency,
+					paths: map[string]uint64{
+						"fast":     res.PathStats.Fast,
+						"middle":   res.PathStats.Middle,
+						"fallback": res.PathStats.Fallback,
+					},
+				}
+				if observed == 1 {
+					r.overheadPct = overhead
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// obsOverhead prints the CSV rows.
+func obsOverhead(o options) {
+	n := o.threads[len(o.threads)-1]
+	shards := o.shards
+	if shards < 2 {
+		shards = 8 // compare unsharded against a genuinely sharded tree
+	}
+	fmt.Println("# Observability overhead: instrumented vs uninstrumented point ops (3-path, light workload, max threads)")
+	fmt.Println("# extras: observed, overhead_pct (instrumented rows: throughput cost vs the paired baseline)")
+	for _, m := range obsOverheadMeasurements(o, n, shards) {
+		ex := []string{kv("observed", "%d", m.observed)}
+		if m.observed == 1 {
+			ex = append(ex, kv("overhead_pct", "%.2f", m.overheadPct))
+		}
+		row{experiment: "obsoverhead", structure: m.structure, workload: "light",
+			algorithm: "3-path", threads: n, shards: m.shards,
+			throughput: m.throughput, lat: m.lat, extras: ex}.emit()
+	}
+}
+
+// obsOverheadJSON is the machine-readable artifact
+// (`-format json -experiment obsoverhead`): one row per structure x
+// shard count x instrumentation state, the instrumented rows carrying
+// overhead_pct in extras — the schema of the committed BENCH_*_OBS.json
+// guard file.
+func obsOverheadJSON(o options) error {
+	n := o.threads[len(o.threads)-1]
+	shards := o.shards
+	if shards < 2 {
+		shards = 8
+	}
+	var rows []jsonRow
+	for _, m := range obsOverheadMeasurements(o, n, shards) {
+		state := "baseline"
+		if m.observed == 1 {
+			state = "observed"
+		}
+		r := jsonRow{
+			Schema:     schemaVersion,
+			Name:       fmt.Sprintf("obsoverhead/%s/x%d/%s", m.structure, m.shards, state),
+			Throughput: m.throughput,
+			Paths:      m.paths,
+			Extras:     map[string]float64{"observed": float64(m.observed)},
+		}
+		if m.throughput > 0 {
+			r.NsOp = float64(n) * 1e9 / m.throughput
+		}
+		if m.lat != nil && m.lat.Count() > 0 {
+			r.P50Ns = m.lat.Quantile(0.5)
+			r.P99Ns = m.lat.Quantile(0.99)
+			r.P999Ns = m.lat.Quantile(0.999)
+		}
+		if m.observed == 1 {
+			r.Extras["overhead_pct"] = m.overheadPct
+		}
+		rows = append(rows, r)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -129,7 +129,7 @@ func runOversub(o options) []oversubRow {
 			}
 			results := make([]workload.Result, 0, o.trials)
 			for i := 0; i < o.trials; i++ {
-				res := workload.Run(spec.New(), workload.Config{
+				res := workload.Run(o.newDict(spec), workload.Config{
 					Threads:        threads,
 					Duration:       o.duration,
 					KeyRange:       oversubKeys,

@@ -74,7 +74,7 @@ func rangeAggSweep(o options) []aggSweepPoint {
 			HTM:       o.htmCfg(htm.Config{}),
 			Policy:    o.policy,
 		}
-		d := spec.New()
+		d := o.newDict(spec)
 		h := d.NewHandle()
 		ah := h.(dict.AggHandle)
 		for k := uint64(1); k <= keys; k++ {
@@ -145,7 +145,7 @@ func rangeAggRetryTrial(o options, shards, u int, mode string, seed uint64) aggR
 		HTM:       o.htmCfg(htm.Config{}),
 		Policy:    o.policy,
 	}
-	d := spec.New()
+	d := o.newDict(spec)
 	hp := d.NewHandle()
 	for k := uint64(1); k <= keyRange; k += 2 { // prefill half the keys
 		hp.Insert(k, k)

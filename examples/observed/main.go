@@ -1,0 +1,92 @@
+// Observed runs a mixed workload on an instrumented sharded (a,b)-tree
+// and serves the live observability endpoint while it runs: Prometheus
+// metrics, a JSON variable snapshot, the flight-recorder dump, and the
+// standard pprof handlers. Point a browser or curl at it while the
+// workload churns — see README.md next to this file for the endpoints.
+//
+//	go run ./examples/observed -http :6060 -dur 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htmtree"
+	"htmtree/internal/obs"
+)
+
+func main() {
+	addr := flag.String("http", ":6060", "observability endpoint address")
+	dur := flag.Duration("dur", 30*time.Second, "workload duration")
+	threads := flag.Int("threads", 4, "update threads (plus one range-query thread)")
+	flag.Parse()
+
+	tree, err := htmtree.NewShardedABTree(htmtree.Config{
+		Algorithm:     htmtree.ThreePath,
+		Shards:        4,
+		ShardKeySpan:  1 << 16,
+		Observability: &htmtree.ObsConfig{}, // defaults: sampled latency + events
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	srv, err := obs.Serve(*addr, tree.Obs)
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("serving observability on http://%s  (/metrics /vars /events /debug/pprof/)\n", srv.Addr())
+	fmt.Printf("running %d update threads + 1 range-query thread for %v...\n", *threads, *dur)
+
+	var (
+		stop atomic.Bool
+		ops  atomic.Uint64
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < *threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := tree.NewHandle()
+			rng := uint64(g)*2654435761 + 1
+			for !stop.Load() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := rng%(1<<16) + 1
+				if rng&(1<<32) == 0 {
+					h.Insert(k, k)
+				} else {
+					h.Delete(k)
+				}
+				ops.Add(1)
+			}
+		}(g)
+	}
+	// One long-scan thread keeps the fallback path (and its flight-recorder
+	// acquire events) warm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tree.NewHandle()
+		var out []htmtree.KV
+		for !stop.Load() {
+			out = h.RangeQuery(1, 1<<15, out[:0])
+		}
+	}()
+
+	deadline := time.Now().Add(*dur)
+	for time.Now().Before(deadline) {
+		time.Sleep(2 * time.Second)
+		fmt.Printf("  %d ops so far, %d flight-recorder events buffered\n",
+			ops.Load(), len(tree.Obs().Events()))
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := tree.Stats()
+	fmt.Printf("done: %d ops (fast %d / middle %d / fallback %d)\n",
+		ops.Load(), st.Ops.Fast, st.Ops.Middle, st.Ops.Fallback)
+}

@@ -35,6 +35,7 @@ package htmtree
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"htmtree/internal/abtree"
@@ -43,6 +44,7 @@ import (
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
+	"htmtree/internal/obs"
 	"htmtree/internal/shard"
 )
 
@@ -263,6 +265,56 @@ type Config struct {
 	// them first, so it observes the handle's own pending writes
 	// (read-your-writes).
 	BatchRQNoFlush bool
+
+	// Observability, when non-nil, attaches the live observability
+	// layer: a pull-model metrics registry over the counters the tree
+	// already maintains (Prometheus text and JSON exposition), sampled
+	// operation latency histograms, per-thread flight recorders of
+	// abort/help/migration events, and runtime/trace regions around
+	// operation execution. Retrieve the domain with Tree.Obs and serve
+	// it over HTTP with obs.Serve. The zero ObsConfig selects the
+	// default sampling rates; instrumented steady-state point
+	// operations stay allocation-free.
+	Observability *ObsConfig
+}
+
+// ObsConfig configures the observability layer (Config.Observability).
+// The zero value selects the defaults; see each field for how to
+// disable its subsystem outright.
+type ObsConfig struct {
+	// LatencySample times one point operation in every LatencySample
+	// (default 64; negative disables latency timing).
+	LatencySample int
+	// EventSample records one hot-path flight-recorder event (operation
+	// completions, transactional aborts) in every EventSample (default
+	// 64; negative disables hot events). Cold events — announce, help,
+	// install, fallback acquisition, quiesce, migration — are always
+	// recorded.
+	EventSample int
+	// EventBuffer is the per-thread flight-recorder ring capacity in
+	// events, rounded up to a power of two (default 2048; negative
+	// disables the recorder entirely).
+	EventBuffer int
+}
+
+// domain builds the tree's observability domain, nil when disabled.
+func (c Config) obsDomain() *obs.Obs {
+	if c.Observability == nil {
+		return nil
+	}
+	return obs.New(obs.Config{
+		LatencySample: c.Observability.LatencySample,
+		EventSample:   c.Observability.EventSample,
+		EventBuffer:   c.Observability.EventBuffer,
+	})
+}
+
+// obsNode returns an unlabelled registration node of o, or nil.
+func obsNode(o *obs.Obs) *obs.Node {
+	if o == nil {
+		return nil
+	}
+	return o.Node()
 }
 
 func (c Config) algorithm() (engine.Algorithm, error) {
@@ -344,7 +396,17 @@ type Tree struct {
 	// Stats.Batch.
 	batchCfg  batch.Config
 	batchCtrs *batch.Counters
+
+	// obs is the live observability domain (nil unless
+	// Config.Observability was set).
+	obs *obs.Obs
 }
+
+// Obs returns the tree's observability domain — nil unless the tree
+// was built with Config.Observability. Serve it over HTTP with
+// obs.Serve, scrape it directly with Obs.Snapshot/WriteProm, or drain
+// the flight recorders with Obs.Events.
+func (t *Tree) Obs() *obs.Obs { return t.obs }
 
 // setBatchConfig validates the async-batching knobs and installs the
 // pipeline template every constructor shares.
@@ -379,14 +441,36 @@ func withBatch(t *Tree, err error, cfg Config) (*Tree, error) {
 	return t, nil
 }
 
+// withObs attaches the observability domain to a finished tree and
+// registers the tree-level metric families (batch-flush activity; the
+// engine and shard layers registered their own families during
+// construction). Runs after withBatch so batchCtrs exists.
+func withObs(t *Tree, err error, o *obs.Obs) (*Tree, error) {
+	if err != nil || o == nil {
+		return t, err
+	}
+	t.obs = o
+	ctrs := t.batchCtrs
+	n := o.Node()
+	n.Counter("htmtree_batch_flushes_total",
+		"Non-empty batch buffer flushes across the tree's asynchronous handles.",
+		func(emit obs.Point) { emit(float64(ctrs.Snapshot().Flushes)) })
+	n.Counter("htmtree_batch_flushed_ops_total",
+		"Point operations carried by batch flushes.",
+		func(emit obs.Point) { emit(float64(ctrs.Snapshot().FlushedOps)) })
+	return t, nil
+}
+
 // NewBST creates an unbalanced external binary search tree (paper
 // Section 6.1).
 func NewBST(cfg Config) (*Tree, error) {
-	t, err := newBST(cfg, nil)
-	return withBatch(t, err, cfg)
+	o := cfg.obsDomain()
+	t, err := newBST(cfg, nil, obsNode(o))
+	t, err = withBatch(t, err, cfg)
+	return withObs(t, err, o)
 }
 
-func newBST(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
+func newBST(cfg Config, mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error) {
 	alg, err := cfg.algorithm()
 	if err != nil {
 		return nil, err
@@ -400,6 +484,7 @@ func newBST(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 		return nil, err
 	}
 	ecfg.Monitor = mon
+	ecfg.Obs = node
 	t := bst.New(bst.Config{
 		Algorithm:       alg,
 		HTM:             hcfg,
@@ -417,11 +502,13 @@ func newBST(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 
 // NewABTree creates a relaxed (a,b)-tree (paper Section 6.2).
 func NewABTree(cfg Config) (*Tree, error) {
-	t, err := newABTree(cfg, nil)
-	return withBatch(t, err, cfg)
+	o := cfg.obsDomain()
+	t, err := newABTree(cfg, nil, obsNode(o))
+	t, err = withBatch(t, err, cfg)
+	return withObs(t, err, o)
 }
 
-func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
+func newABTree(cfg Config, mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error) {
 	alg, err := cfg.algorithm()
 	if err != nil {
 		return nil, err
@@ -438,6 +525,7 @@ func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 		return nil, err
 	}
 	ecfg.Monitor = mon
+	ecfg.Obs = node
 	t := abtree.New(abtree.Config{
 		A:               cfg.A,
 		B:               cfg.B,
@@ -453,8 +541,11 @@ func newABTree(cfg Config, mon *engine.UpdateMonitor) (*Tree, error) {
 // by mk, wiring aggregate stats and invariant checking through the
 // shard layer. With AtomicRangeQueries or RouterAdaptive each inner
 // tree's engine gets the shard's update monitor, and the SNZI
-// preference carries over to the quiesce gates.
-func newSharded(cfg Config, mk func(mon *engine.UpdateMonitor) (*Tree, error)) (*Tree, error) {
+// preference carries over to the quiesce gates. With an observability
+// domain each inner engine registers its families under a shard="i"
+// label and the shard layer registers its own (read validation,
+// migration) unlabelled.
+func newSharded(cfg Config, o *obs.Obs, mk func(mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error)) (*Tree, error) {
 	var inner []*Tree
 	var ctorErr error
 	scfg := shard.Config{
@@ -462,8 +553,13 @@ func newSharded(cfg Config, mk func(mon *engine.UpdateMonitor) (*Tree, error)) (
 		KeySpan:   cfg.ShardKeySpan,
 		Atomic:    cfg.AtomicRangeQueries,
 		RQRetries: cfg.RQRetries,
-		New: func(_ int, mon *engine.UpdateMonitor) dict.Dict {
-			t, mkErr := mk(mon)
+		Obs:       obsNode(o),
+		New: func(i int, mon *engine.UpdateMonitor) dict.Dict {
+			var node *obs.Node
+			if o != nil {
+				node = o.Node(obs.L("shard", strconv.Itoa(i)))
+			}
+			t, mkErr := mk(mon, node)
 			if mkErr != nil {
 				ctorErr = mkErr
 				return emptyDict{}
@@ -543,19 +639,23 @@ func (emptyDict) KeySum() (sum, count uint64) { return 0, 0 }
 // atomic across shards when cfg.AtomicRangeQueries is set; KeySum,
 // Stats, and CheckInvariants aggregate.
 func NewShardedBST(cfg Config) (*Tree, error) {
-	t, err := newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
-		return newBST(cfg, mon)
+	o := cfg.obsDomain()
+	t, err := newSharded(cfg, o, func(mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error) {
+		return newBST(cfg, mon, node)
 	})
-	return withBatch(t, err, cfg)
+	t, err = withBatch(t, err, cfg)
+	return withObs(t, err, o)
 }
 
 // NewShardedABTree creates a sharded relaxed (a,b)-tree; see
 // NewShardedBST for the partitioning contract.
 func NewShardedABTree(cfg Config) (*Tree, error) {
-	t, err := newSharded(cfg, func(mon *engine.UpdateMonitor) (*Tree, error) {
-		return newABTree(cfg, mon)
+	o := cfg.obsDomain()
+	t, err := newSharded(cfg, o, func(mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error) {
+		return newABTree(cfg, mon, node)
 	})
-	return withBatch(t, err, cfg)
+	t, err = withBatch(t, err, cfg)
+	return withObs(t, err, o)
 }
 
 // NewHandle registers a per-goroutine handle. Handles must not be shared

@@ -15,12 +15,15 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/trace"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"htmtree/internal/ebr"
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
+	"htmtree/internal/obs"
 	"htmtree/internal/snzi"
 )
 
@@ -186,6 +189,12 @@ type Config struct {
 	// after the announcement in helpable mode. Tests inject
 	// runtime.Gosched here to force the convoy/help schedules.
 	PreemptPoint func()
+	// Obs, when non-nil, attaches this engine to a live observability
+	// domain (see obs.go in this package): New registers the metric
+	// families that read the per-thread counters, and every NewThread
+	// gains a flight-recorder thread with sampled latency capture,
+	// runtime/trace op regions, and abort/help/acquire events.
+	Obs *obs.Node
 }
 
 func (c Config) withDefaults() Config {
@@ -245,6 +254,9 @@ func New(cfg Config, clk *htm.Clock) *Engine {
 	if e.cfg.Monitor != nil {
 		e.cfg.Monitor.Bind(clk)
 	}
+	if e.cfg.Obs != nil {
+		e.registerObs(e.cfg.Obs)
+	}
 	return e
 }
 
@@ -268,6 +280,14 @@ type Thread struct {
 	// from a reporting goroutine.
 	aborts   [htm.NumPaths][htm.NumCauses]uint64
 	polstats PolicyStats
+	// fallbackAcq counts fallback critical-section acquisitions (classic
+	// TLE lock takes and helpable descriptors driven to completion by
+	// their owner), atomically — the observability layer's
+	// htmtree_fallback_acquisitions_total family reads it.
+	fallbackAcq uint64
+	// obs is the thread's flight-recorder context, nil unless the engine
+	// was built with Config.Obs.
+	obs *obs.ThreadObs
 	// site is the fallback policy site for ops built without their own.
 	site Site
 
@@ -318,6 +338,9 @@ func (e *Engine) NewThread(h *htm.Thread) *Thread {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	th := &Thread{H: h, eng: e, site: *NewSite()}
+	if e.cfg.Obs != nil {
+		th.obs = e.cfg.Obs.NewThread()
+	}
 	e.threads = append(e.threads, th)
 	return th
 }
@@ -550,7 +573,34 @@ func (th *Thread) PrepareOp(op Op) Op {
 // waits at the monitor's quiesce gate before starting (threads with
 // SetGateBypass skip the gate and the in-flight accounting, not the
 // commit publication).
+//
+// On an observed engine (Config.Obs) Run additionally brackets the
+// operation with a runtime/trace user region, captures every
+// LatencySample-th operation's latency into the thread's histogram, and
+// records a sampled completion event — all without allocating and
+// without defers (a defer closing over locals allocates, which would
+// break the steady-state 0 allocs/op gate).
 func (th *Thread) Run(op Op) htm.PathKind {
+	so := th.obs
+	if so == nil {
+		return th.run(op)
+	}
+	reg := obs.StartOpRegion()
+	if so.MaybeTime() {
+		t0 := time.Now()
+		p := th.run(op)
+		so.RecordLatency(uint64(time.Since(t0)))
+		so.Event(obs.EvOp, p, htm.CauseNone, 0, 0)
+		obs.EndRegion(reg)
+		return p
+	}
+	p := th.run(op)
+	so.Event(obs.EvOp, p, htm.CauseNone, 0, 0)
+	obs.EndRegion(reg)
+	return p
+}
+
+func (th *Thread) run(op Op) htm.PathKind {
 	e := th.eng
 	if th.rec != nil {
 		// Bracket the whole operation as an ebr critical section: every
@@ -693,6 +743,11 @@ func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 		th.completed(htm.PathFallback)
 		return htm.PathFallback
 	}
+	so := th.obs
+	var freg *trace.Region
+	if so != nil {
+		freg = obs.StartFallbackRegion()
+	}
 	for !e.tle.CAS(nil, 0, 1) {
 		// In helpable mode a blocked classic acquirer still helps the
 		// announced operation — required for the protocol's progress
@@ -700,9 +755,18 @@ func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 		// done.
 		if helpable && th.H.Help() {
 			atomic.AddUint64(&th.polstats.Helps, 1)
+			if so != nil {
+				so.RareEvent(obs.EvHelp, htm.PathFallback, htm.CauseNone, 0, 0)
+			}
 			continue
 		}
 		runtime.Gosched()
+	}
+	atomic.AddUint64(&th.fallbackAcq, 1)
+	if so != nil {
+		// Generation 1 marks the classic (non-helpable) acquisition.
+		so.RareEvent(obs.EvAcquire, htm.PathFallback, htm.CauseNone, 1, 0)
+		obs.EndRegion(freg)
 	}
 	if e.cfg.PreemptPoint != nil {
 		e.cfg.PreemptPoint()
@@ -769,6 +833,9 @@ func (th *Thread) runPath(site *Site, path htm.PathKind, budget int, busyBreak b
 			return true
 		}
 		th.noteAbort(path, ab.Cause)
+		if so := th.obs; so != nil {
+			so.Event(obs.EvAbort, path, ab.Cause, site.id, uint64(ab.Code))
+		}
 		if ab.Cause == htm.CauseCapacity && path == htm.PathFast {
 			site.noteCapacity()
 		}

@@ -6,6 +6,7 @@ import (
 
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
+	"htmtree/internal/obs"
 )
 
 // This file implements the helpable fallback path: the TLE critical
@@ -193,6 +194,11 @@ func (th *Thread) execDesc(d *HelpDesc) *HelpAttempt {
 		if att := d.attempt.Load(); att != nil {
 			if att.terminal() {
 				th.releaseDesc(d)
+				if so := th.obs; so != nil {
+					// The install CAS is the linearization; record that
+					// this executor observed the terminal attempt.
+					so.RareEvent(obs.EvInstall, htm.PathFallback, htm.CauseNone, d.gen, 0)
+				}
 				return att
 			}
 			if att.Rec.State() == llxscx.StateAborted {
@@ -241,20 +247,35 @@ func (th *Thread) runHelpableFallback(op Op, mon *UpdateMonitor) {
 		mon.beginNonTx()
 		defer mon.endNonTx()
 	}
+	so := th.obs
+	if so != nil {
+		freg := obs.StartFallbackRegion()
+		defer obs.EndRegion(freg)
+	}
 	tm := th.H.TM()
 	for !tm.Announce(d) {
 		// Another critical section is announced: help it to completion
 		// rather than waiting behind it.
 		if th.H.Help() {
 			atomic.AddUint64(&th.polstats.Helps, 1)
+			if so != nil {
+				so.RareEvent(obs.EvHelp, htm.PathFallback, htm.CauseNone, 0, 0)
+			}
 		} else {
 			runtime.Gosched()
 		}
+	}
+	if so != nil {
+		so.RareEvent(obs.EvAnnounce, htm.PathFallback, htm.CauseNone, d.gen, 0)
 	}
 	if e.cfg.PreemptPoint != nil {
 		e.cfg.PreemptPoint()
 	}
 	att := th.execDesc(d)
+	atomic.AddUint64(&th.fallbackAcq, 1)
+	if so != nil {
+		so.RareEvent(obs.EvAcquire, htm.PathFallback, htm.CauseNone, d.gen, 0)
+	}
 	op.Helpable.Finish(att.Val, att.Found, att.NeedFix)
 }
 
@@ -266,6 +287,9 @@ func (th *Thread) helpWait() {
 	for i := 0; e.tle.Get(nil) != 0; i++ {
 		if th.H.Help() {
 			atomic.AddUint64(&th.polstats.Helps, 1)
+			if so := th.obs; so != nil {
+				so.RareEvent(obs.EvHelp, htm.PathFast, htm.CauseNone, 0, 0)
+			}
 			continue
 		}
 		if i%16 == 15 {

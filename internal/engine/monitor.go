@@ -66,6 +66,9 @@ type UpdateMonitor struct {
 	// gate holds off new update operations while a reader quiesces the
 	// shard. Readers Arrive/Depart; updaters wait while it is nonzero.
 	gate Indicator
+	// quiesces counts completed Quiesce calls (escalated readers and
+	// migrations); the observability layer reads it at scrape time.
+	quiesces atomic.Uint64
 }
 
 // NewUpdateMonitor creates a monitor. A nil gate selects the plain
@@ -206,8 +209,12 @@ func (m *UpdateMonitor) Quiesce() (release func()) {
 	} else {
 		waitWhile(m.nonTxInFlight)
 	}
+	m.quiesces.Add(1)
 	return release
 }
+
+// Quiesces returns the number of completed Quiesce calls.
+func (m *UpdateMonitor) Quiesces() uint64 { return m.quiesces.Load() }
 
 // Bracket registers an externally driven multi-operation update (the
 // shard layer's key migration) exactly like a non-transactional update

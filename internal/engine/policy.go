@@ -45,6 +45,10 @@ type Decision struct {
 // concurrently.
 type Site struct {
 	rng xrand.State
+	// id is the site's process-unique identity, carried on the flight
+	// recorder's abort events so a dump can attribute an abort storm to
+	// one operation type's call site.
+	id uint64
 	// capScore counts recent fast-path capacity aborts, saturating at
 	// capScoreSaturation and decaying on fast-path commits. At or above
 	// capScoreSkip the adaptive policy starts operations past the fast
@@ -70,7 +74,8 @@ var siteSeq uint64
 
 // NewSite returns a Site with its own PRNG stream.
 func NewSite() *Site {
-	return &Site{rng: *xrand.New(0xa5b35705b7e3f4d1, atomic.AddUint64(&siteSeq, 1))}
+	n := atomic.AddUint64(&siteSeq, 1)
+	return &Site{rng: *xrand.New(0xa5b35705b7e3f4d1, n), id: n}
 }
 
 func (s *Site) noteCapacity() {

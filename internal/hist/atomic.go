@@ -1,0 +1,54 @@
+package hist
+
+import "sync/atomic"
+
+// Atomic is a histogram whose Record is safe to run concurrently with
+// readers (Snapshot) and with other recorders. It exists for live
+// observability: a per-thread Atomic is written by exactly one
+// operation thread (so the adds are uncontended and stay cheap) while a
+// /metrics scrape snapshots it from an HTTP goroutine at any moment.
+// Every field is updated with individual atomic operations, so a
+// snapshot taken mid-Record may be ahead or behind by in-flight samples
+// on any one field — each field is monotone and individually exact, the
+// cross-field skew is bounded by the number of concurrent in-flight
+// Records (one, under the single-writer discipline). The zero value is
+// an empty histogram ready for use.
+type Atomic struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// Record adds one sample. It never allocates, and is safe to run
+// concurrently with Snapshot and other Records.
+func (a *Atomic) Record(v uint64) {
+	atomic.AddUint64(&a.counts[bucket(v)], 1)
+	atomic.AddUint64(&a.count, 1)
+	atomic.AddUint64(&a.sum, v)
+	for {
+		m := atomic.LoadUint64(&a.max)
+		if v <= m || atomic.CompareAndSwapUint64(&a.max, m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (a *Atomic) Count() uint64 { return atomic.LoadUint64(&a.count) }
+
+// Snapshot adds the current contents into a plain Hist (bucket-wise,
+// like Merge), reading every field atomically. The quantile, bucket and
+// cumulative exports then run on the stable copy. Safe to call while
+// Records are in flight; the copy reflects some recent state of each
+// field independently (see the type comment).
+func (a *Atomic) Snapshot(into *Hist) {
+	for i := range a.counts {
+		into.counts[i] += atomic.LoadUint64(&a.counts[i])
+	}
+	into.count += atomic.LoadUint64(&a.count)
+	into.sum += atomic.LoadUint64(&a.sum)
+	if m := atomic.LoadUint64(&a.max); m > into.max {
+		into.max = m
+	}
+}

@@ -166,3 +166,35 @@ func (h *Hist) Buckets() []Bucket {
 	}
 	return out
 }
+
+// CumBucket is one step of a cumulative (Prometheus `le`-style) bucket
+// export: Count samples were recorded with value <= Le.
+type CumBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Cumulative returns the histogram as cumulative `le` buckets in the
+// Prometheus exposition sense: one entry per non-empty internal bucket,
+// in ascending Le order, where Count is the running total of samples
+// with value <= Le. Samples are integers, so the inclusive upper bound
+// of the half-open internal bucket [Low, High) is exactly High-1 — the
+// export loses no precision relative to Buckets. The final entry's
+// Count equals Count() (the `+Inf` bucket is implied). Allocates;
+// intended for scrape-time exposition, not the capture path.
+func (h *Hist) Cumulative() []CumBucket {
+	var out []CumBucket
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := uint64(1)<<63 - 1 + uint64(1)<<63 // max uint64 for the last bucket
+		if i+1 < numBuckets {
+			le = bucketLow(i+1) - 1
+		}
+		out = append(out, CumBucket{Le: le, Count: cum})
+	}
+	return out
+}

@@ -209,3 +209,124 @@ func TestRecordZeroAlloc(t *testing.T) {
 		t.Fatalf("Quantile allocates %v per op", avg)
 	}
 }
+
+// TestCumulativeProperty is the property test for the Prometheus-style
+// cumulative export: against random sample sets it cross-checks
+// Cumulative against Buckets (same boundaries, running totals) and
+// against Quantile (the value Quantile(q) returns must be covered by
+// the first cumulative bucket whose count reaches rank(q)).
+func TestCumulativeProperty(t *testing.T) {
+	rng := lcg(42)
+	for trial := 0; trial < 20; trial++ {
+		var h Hist
+		n := int(rng.next()%5000) + 1
+		for i := 0; i < n; i++ {
+			// Mix magnitudes: some tiny exact-range values, some huge.
+			v := rng.next() >> (rng.next() % 60)
+			h.Record(v)
+		}
+
+		cum := h.Cumulative()
+		bks := h.Buckets()
+		if len(cum) != len(bks) {
+			t.Fatalf("trial %d: %d cumulative vs %d plain buckets", trial, len(cum), len(bks))
+		}
+		var running uint64
+		for i, b := range bks {
+			running += b.Count
+			// Same boundary: le is the inclusive form of the half-open
+			// [Low, High) bucket, exact for integer samples.
+			wantLe := b.High - 1
+			if b.High == math.MaxUint64 {
+				wantLe = math.MaxUint64
+			}
+			if cum[i].Le != wantLe {
+				t.Fatalf("trial %d bucket %d: le %d, want %d", trial, i, cum[i].Le, wantLe)
+			}
+			if cum[i].Count != running {
+				t.Fatalf("trial %d bucket %d: cumulative %d, want %d", trial, i, cum[i].Count, running)
+			}
+			if i > 0 && cum[i].Le <= cum[i-1].Le {
+				t.Fatalf("trial %d: le not strictly increasing at %d", trial, i)
+			}
+		}
+		if cum[len(cum)-1].Count != h.Count() {
+			t.Fatalf("trial %d: last cumulative %d != count %d", trial, cum[len(cum)-1].Count, h.Count())
+		}
+
+		// Quantile cross-check: the order statistic of rank ceil(q*n)
+		// must lie in the first cumulative bucket reaching that rank,
+		// and Quantile answers with a value from that same bucket (its
+		// midpoint, or the exact max for the top rank).
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+			rank := uint64(q*float64(h.Count()) + 0.5)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank >= h.Count() {
+				continue // Quantile returns the exact max here
+			}
+			idx := sort.Search(len(cum), func(i int) bool { return cum[i].Count >= rank })
+			if idx == len(cum) {
+				t.Fatalf("trial %d q=%v: rank %d beyond cumulative total", trial, q, rank)
+			}
+			v := h.Quantile(q)
+			lo := uint64(0)
+			if idx > 0 {
+				lo = cum[idx-1].Le + 1
+			}
+			if v < lo || v > cum[idx].Le {
+				t.Fatalf("trial %d q=%v: Quantile=%d outside cumulative bucket [%d, %d]",
+					trial, q, v, lo, cum[idx].Le)
+			}
+		}
+	}
+}
+
+// TestAtomicMatchesHist records the same deterministic stream into a
+// plain Hist and an Atomic and requires identical snapshots, then
+// hammers one Atomic from several goroutines and checks the merged
+// totals are exact.
+func TestAtomicMatchesHist(t *testing.T) {
+	rng := lcg(7)
+	var h Hist
+	var a Atomic
+	for i := 0; i < 10000; i++ {
+		v := rng.next() >> (rng.next() % 60)
+		h.Record(v)
+		a.Record(v)
+	}
+	var snap Hist
+	a.Snapshot(&snap)
+	if snap != h {
+		t.Fatal("atomic snapshot differs from plain histogram on identical input")
+	}
+
+	var b Atomic
+	const workers, per = 8, 5000
+	done := make(chan uint64, workers)
+	for w := 0; w < workers; w++ {
+		go func(seed uint64) {
+			r := lcg(seed)
+			var sum uint64
+			for i := 0; i < per; i++ {
+				v := r.next() % 1_000_000
+				sum += v
+				b.Record(v)
+			}
+			done <- sum
+		}(uint64(w + 1))
+	}
+	var wantSum uint64
+	for w := 0; w < workers; w++ {
+		wantSum += <-done
+	}
+	var merged Hist
+	b.Snapshot(&merged)
+	if merged.Count() != workers*per {
+		t.Fatalf("concurrent count %d, want %d", merged.Count(), workers*per)
+	}
+	if merged.Sum() != wantSum {
+		t.Fatalf("concurrent sum %d, want %d", merged.Sum(), wantSum)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 
 	"htmtree/internal/dict"
+	"htmtree/internal/htm"
+	"htmtree/internal/obs"
 )
 
 // Rebalancing defaults.
@@ -351,6 +353,10 @@ func (d *Dict) migrate(donor, receiver int, mlo, mhi uint64, newR *rangeRouter) 
 	defer doneD()
 	doneR := d.mons[receiver].Bracket()
 	defer doneR()
+	if d.obsRec != nil {
+		d.obsRec.RareEvent(obs.EvMigrateBegin, 0, htm.CauseNone,
+			uint64(donor), uint64(receiver))
+	}
 
 	rb.scratch = hd.RangeQuery(mlo, mhi, rb.scratch[:0])
 	for _, kv := range rb.scratch {
@@ -363,4 +369,8 @@ func (d *Dict) migrate(donor, receiver int, mlo, mhi uint64, newR *rangeRouter) 
 
 	rb.migrations.Add(1)
 	rb.keysMoved.Add(uint64(len(rb.scratch)))
+	if d.obsRec != nil {
+		d.obsRec.RareEvent(obs.EvMigrateEnd, 0, htm.CauseNone,
+			uint64(len(rb.scratch)), 0)
+	}
 }

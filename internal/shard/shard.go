@@ -68,6 +68,7 @@ import (
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
+	"htmtree/internal/obs"
 )
 
 // DefaultShards is the shard count when Config.Shards is zero.
@@ -123,6 +124,12 @@ type Config struct {
 	// Atomic or Rebalance is set, and must then be installed as the
 	// inner engine's Monitor so updates publish their commit points.
 	New func(i int, mon *engine.UpdateMonitor) dict.Dict
+	// Obs, when non-nil, registers the shard layer's metric families
+	// (cross-shard read outcomes, rebalancing activity) and records
+	// quiesce/migration events in the flight recorder. Per-shard engine
+	// metrics are wired separately, through each inner dictionary's
+	// engine.Config.Obs.
+	Obs *obs.Node
 }
 
 // validate resolves the shard count and checks every field, naming the
@@ -213,6 +220,11 @@ type Dict struct {
 	// reb is the live rebalancer; nil when rebalancing is disabled.
 	reb *rebalancer
 
+	// obsRec is the layer's shared flight-recorder thread (quiesce and
+	// migration events may come from any goroutine; RareEvent is
+	// multi-writer safe). nil unless built with Config.Obs.
+	obsRec *obs.ThreadObs
+
 	rqAttempts    atomic.Uint64
 	rqRetried     atomic.Uint64
 	rqEscalations atomic.Uint64
@@ -285,6 +297,10 @@ func New(cfg Config) (*Dict, error) {
 			mon = d.mons[i]
 		}
 		d.shards[i] = cfg.New(i, mon)
+	}
+	if cfg.Obs != nil {
+		d.obsRec = cfg.Obs.NewThread()
+		d.registerObs(cfg.Obs)
 	}
 	return d, nil
 }
@@ -447,6 +463,9 @@ func (d *Dict) readConsistent(lo, hi uint64, samples []engine.MonitorSample, rea
 	first, last := overlap(d.Router(), lo, hi)
 	for s := first; s <= last; s++ {
 		defer d.mons[s].Quiesce()()
+		if d.obsRec != nil {
+			d.obsRec.RareEvent(obs.EvQuiesce, 0, htm.CauseNone, uint64(s), 0)
+		}
 	}
 	for !try() {
 		d.rqRetried.Add(1)

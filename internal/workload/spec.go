@@ -3,12 +3,14 @@ package workload
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 
 	"htmtree/internal/abtree"
 	"htmtree/internal/bst"
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
 	"htmtree/internal/htm"
+	"htmtree/internal/obs"
 	"htmtree/internal/shard"
 )
 
@@ -67,6 +69,11 @@ type Spec struct {
 	// runnable peer) with a short sleep here — a yield alone puts the
 	// owner back on the run queue, which understates the convoy.
 	PreemptPoint func()
+	// Observe, when non-nil, attaches the live observability layer
+	// (metrics registry, flight recorder, latency sampling) with the
+	// given configuration. Retrieve the domain via NewObserved; a plain
+	// New discards it.
+	Observe *obs.Config
 }
 
 // Name returns a compact label, e.g. "abtree/3-path/x8" or
@@ -95,7 +102,27 @@ func (s Spec) Name() string {
 // It panics on an unknown structure name (specs are authored by sweep
 // drivers, not end users).
 func (s Spec) New() dict.Dict {
-	mk := func(mon *engine.UpdateMonitor) dict.Dict {
+	d, _ := s.NewObserved()
+	return d
+}
+
+// NewObserved constructs the spec's dictionary together with its
+// observability domain. The domain is nil unless Spec.Observe is set;
+// with it, each engine registers its metric families (per-shard trees
+// under a shard="i" label) and every engine thread carries a flight
+// recorder.
+func (s Spec) NewObserved() (dict.Dict, *obs.Obs) {
+	var o *obs.Obs
+	if s.Observe != nil {
+		o = obs.New(*s.Observe)
+	}
+	root := func() *obs.Node {
+		if o == nil {
+			return nil
+		}
+		return o.Node()
+	}
+	mk := func(mon *engine.UpdateMonitor, node *obs.Node) dict.Dict {
 		pol, ok := engine.ParsePolicy(s.Policy)
 		if !ok {
 			panic(fmt.Sprintf("workload: unknown retry policy %q", s.Policy))
@@ -105,6 +132,7 @@ func (s Spec) New() dict.Dict {
 			Policy:           pol,
 			HelpableFallback: s.Helpable,
 			AttemptLimit:     s.AttemptLimit,
+			Obs:              node,
 		}
 		if s.PreemptFallback {
 			ecfg.PreemptPoint = runtime.Gosched
@@ -132,13 +160,20 @@ func (s Spec) New() dict.Dict {
 		}
 	}
 	if s.Shards <= 1 {
-		return mk(nil)
+		return mk(nil, root()), o
 	}
 	scfg := shard.Config{
 		Shards:  s.Shards,
 		KeySpan: s.KeySpan,
 		Atomic:  s.AtomicRQ,
-		New:     func(_ int, mon *engine.UpdateMonitor) dict.Dict { return mk(mon) },
+		Obs:     root(),
+		New: func(i int, mon *engine.UpdateMonitor) dict.Dict {
+			var node *obs.Node
+			if o != nil {
+				node = o.Node(obs.L("shard", strconv.Itoa(i)))
+			}
+			return mk(mon, node)
+		},
 	}
 	switch s.Router {
 	case "", "range":
@@ -160,5 +195,5 @@ func (s Spec) New() dict.Dict {
 	if err != nil {
 		panic(fmt.Sprintf("workload: %v", err)) // only reachable via an invalid Spec
 	}
-	return d
+	return d, o
 }
