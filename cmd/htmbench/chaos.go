@@ -1,0 +1,520 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"htmtree/internal/dict"
+	"htmtree/internal/engine"
+	"htmtree/internal/fault"
+	"htmtree/internal/htm"
+	"htmtree/internal/workload"
+	"htmtree/internal/xrand"
+)
+
+// The chaos experiment arms the deterministic fault-injection plane
+// (internal/fault) against live workloads and reports survival metrics
+// rather than performance: did the key-sum checksum hold under an abort
+// storm, how many operations the rest of the system completed while an
+// announced fallback owner was stalled or dead, how many announced
+// operations helpers finished on a dead owner's behalf, and how long
+// operations waited behind stalled quiesce gates and migrations.
+//
+// Every family derives its seed from -seed through trialSeed, and each
+// row records the seed and the compiled plan, so a failing row
+// reproduces exactly from the printed (seed, plan) pair.
+//
+// Families:
+//
+//   - abort-storm: probabilistic forced aborts on every transactional
+//     access, one row per injected cause. Safety: key-sum must hold.
+//   - owner-stall: the announced helpable-fallback owner sleeps 2ms on
+//     every 16th fallback entry. Liveness: the watchdog requires other
+//     threads to complete operations inside every stall window.
+//   - owner-death: the announced owner parks forever (a crashed
+//     thread). Peers must help the announced operation to completion;
+//     the row reports kills, helps and the minimum progress observed
+//     during any kill window. Key-sum is not checked — a killed
+//     worker's in-flight operation completes via helpers but its
+//     accounting delta is lost with the goroutine (the exact-safety
+//     twin of this family lives in internal/modelcheck's chaos
+//     battery, which replays intent logs through the sequential
+//     model).
+//   - migrate: stalls inside the adaptive router's quiesce gates and
+//     between migration steps (shard swap, stale-key deletion) under a
+//     skewed workload that forces rebalancing. Safety: key-sum holds
+//     across interrupted migrations; max_wait_ns bounds the worst
+//     operation wait behind a held gate.
+//   - ebr-pin: reclamation threads stall while their epoch pin is
+//     announced, delaying grace periods. Safety: key-sum.
+//   - agg-stall: the aggregate-fixup seqlock writer stalls mid-fixup
+//     (version odd) under the analytics mix. Safety: key-sum plus
+//     completed aggregate queries (readers must retry, not wedge).
+//   - batch-delay: batched updaters' pipeline flushes stall. Safety:
+//     key-sum across delayed flushes.
+const (
+	chaosKeys = 2048
+	// Owner-death family shape: kill the announced owner on every 3rd
+	// fallback entry until deathKills owners are dead, across
+	// deathWorkers update threads on disjoint key ranges.
+	deathWorkers = 6
+	deathEvery   = 3
+	deathKills   = 4
+	deathKeys    = uint64(600)
+)
+
+// chaosThreads is the worker count for the workload-driven families:
+// the -threads sweep's maximum, but at least 4 so stall windows always
+// have peers able to make progress.
+func chaosThreads(o options) int {
+	n := o.threads[len(o.threads)-1]
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// chaosRow is one family's survival report; it is both the JSON
+// artifact row (the CI chaos guard's input) and the source of the
+// uniform CSV row.
+type chaosRow struct {
+	Schema    int    `json:"schema"`
+	Name      string `json:"name"` // structure/chaos/family[/variant]
+	Family    string `json:"family"`
+	Structure string `json:"structure"`
+	Threads   int    `json:"threads"`
+	Seed      uint64 `json:"seed"`
+	Plan      string `json:"plan"`
+
+	Throughput float64 `json:"throughput"`
+	Ops        uint64  `json:"ops"`
+
+	// KeySumChecked is false for the owner-death family (see above);
+	// for every other family KeySumOK is the safety verdict.
+	KeySumChecked bool `json:"keysum_checked"`
+	KeySumOK      bool `json:"keysum_ok"`
+
+	// Fires counts injections actually fired, per point name.
+	Fires map[string]uint64 `json:"fires"`
+
+	// Kills is how many owners were parked forever; Helps how many
+	// announced fallback operations were completed by a helper-side
+	// executor; Dead how many worker goroutines never returned (each a
+	// parked owner still holding its goroutine).
+	Kills uint64 `json:"kills"`
+	Helps uint64 `json:"helps"`
+	Dead  int    `json:"dead"`
+
+	// StallWindows/MinWindowOps/LivenessOK come from the fault.Liveness
+	// watchdog: windows observed, the minimum operations completed by
+	// the rest of the system inside any window, and whether every
+	// window saw nonzero progress.
+	StallWindows int    `json:"stall_windows"`
+	MinWindowOps uint64 `json:"min_window_ops"`
+	LivenessOK   bool   `json:"liveness_ok"`
+
+	// MaxWaitNs is the worst single-operation latency (the max-quiesce-
+	// wait bound for the migrate family); zero when not measured.
+	MaxWaitNs uint64 `json:"max_wait_ns"`
+
+	// Migrations counts boundary migrations survived (migrate family).
+	Migrations uint64 `json:"migrations"`
+}
+
+// chaosTrialOpts shapes one workload-driven chaos trial.
+type chaosTrialOpts struct {
+	name, family string
+	spec         workload.Spec
+	cfg          workload.Config
+	plan         *fault.Plan
+	// watch attaches a fault.Liveness watchdog: watched stalls open
+	// progress windows and the workload's workers feed OpDone.
+	watch bool
+}
+
+// runChaosTrial runs one family through the standard workload harness.
+func runChaosTrial(o options, ct chaosTrialOpts) chaosRow {
+	var lv *fault.Liveness
+	if ct.watch {
+		lv = &fault.Liveness{}
+		ct.plan.Watch(lv)
+		ct.cfg.Liveness = lv
+	}
+	ct.spec.Faults = ct.plan
+	ct.cfg.Faults = ct.plan // batched updaters arm their pipeline from the config
+	d := o.newDict(ct.spec)
+	res := workload.Run(d, ct.cfg)
+	r := chaosRow{
+		Schema:        schemaVersion,
+		Name:          ct.name,
+		Family:        ct.family,
+		Structure:     ct.spec.Structure,
+		Threads:       ct.cfg.Threads,
+		Seed:          ct.plan.Seed(),
+		Plan:          ct.plan.String(),
+		Throughput:    res.Throughput,
+		Ops:           res.Ops,
+		KeySumChecked: true,
+		KeySumOK:      res.KeySumOK,
+		Fires:         ct.plan.FireCounts(),
+		Helps:         res.PathStats.Policy.Helps,
+		LivenessOK:    true,
+		Migrations:    res.Rebalance.Migrations,
+	}
+	if res.Latency != nil {
+		r.MaxWaitNs = res.Latency.Max()
+	}
+	if lv != nil {
+		lv.Finish()
+		r.StallWindows = len(lv.Windows())
+		if m, ok := lv.MinProgress(); ok {
+			r.MinWindowOps = m
+		}
+		r.LivenessOK = lv.Check() == nil
+	}
+	return r
+}
+
+// runChaosOwnerDeath is the owner-death family's dedicated runner. The
+// standard harness cannot host it: a killed owner parks its goroutine
+// forever, so workload.Run's join would hang. This runner gives each
+// worker a done channel, joins with a timeout (the stragglers are the
+// dead), drains the last announced descriptor through dict.Helper, and
+// only then releases the parked goroutines.
+func runChaosOwnerDeath(o options, seed uint64) chaosRow {
+	plan := fault.New(seed, fault.Rule{
+		Point: fault.PointFallbackOwner,
+		Every: deathEvery,
+		Kill:  true,
+		Count: deathKills,
+		Watch: true,
+	})
+	lv := &fault.Liveness{}
+	plan.Watch(lv)
+	// Unsharded on purpose: a sharded tree's fallback runs inside a
+	// monitor bracket, and an owner killed while holding the bracket
+	// wedges the quiesce gate forever. SpuriousEvery 1 + AttemptLimit 1
+	// push essentially every update onto the helpable fallback, so the
+	// kill budget is spent within the first few operations.
+	spec := workload.Spec{
+		Structure:    "bst",
+		Algorithm:    engine.AlgTLE,
+		Helpable:     true,
+		AttemptLimit: 1,
+		HTM:          htm.Config{SpuriousEvery: 1},
+		Policy:       o.policy,
+		Faults:       plan,
+	}
+	d := o.newDict(spec)
+
+	var stop atomic.Bool
+	done := make([]chan struct{}, deathWorkers)
+	for w := 0; w < deathWorkers; w++ {
+		done[w] = make(chan struct{})
+		go func(w int) {
+			defer close(done[w])
+			h := d.NewHandle()
+			rng := xrand.New(seed, uint64(w)+1)
+			span := deathKeys / uint64(deathWorkers)
+			lo := uint64(w)*span + 1
+			for !stop.Load() {
+				k := lo + rng.Uint64n(span)
+				if rng.Next()&1 == 0 {
+					h.Insert(k, k)
+				} else {
+					h.Delete(k)
+				}
+				lv.OpDone()
+			}
+		}(w)
+	}
+	time.Sleep(o.duration)
+	stop.Store(true)
+
+	// Timeout join: survivors close their channel promptly; a worker
+	// that does not is parked inside a kill. The non-blocking first
+	// check keeps an already-finished survivor from losing the select
+	// race against an expired timer.
+	deadline := time.Now().Add(time.Second)
+	alive := 0
+	for _, ch := range done {
+		select {
+		case <-ch:
+			alive++
+			continue
+		default:
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+			alive++
+		case <-t.C:
+		}
+		t.Stop()
+	}
+
+	// Drain: the TM has one announcement slot, so at most one killed
+	// owner's descriptor can still be pending — every earlier one was
+	// necessarily helped to completion before its successor could
+	// announce. Helping is idempotent, so loop until it reports idle.
+	if helper, ok := d.NewHandle().(dict.Helper); ok {
+		for i := 0; i < 8 && helper.Help(); i++ {
+		}
+	}
+
+	lv.Finish()
+	r := chaosRow{
+		Schema:        schemaVersion,
+		Name:          "bst/chaos/owner-death",
+		Family:        "owner-death",
+		Structure:     "bst",
+		Threads:       deathWorkers,
+		Seed:          seed,
+		Plan:          plan.String(),
+		Throughput:    float64(lv.Ops()) / o.duration.Seconds(),
+		Ops:           lv.Ops(),
+		KeySumChecked: false,
+		Fires:         plan.FireCounts(),
+		Kills:         plan.Fires(fault.PointFallbackOwner),
+		Dead:          deathWorkers - alive,
+		StallWindows:  len(lv.Windows()),
+	}
+	if sp, ok := d.(workload.StatsProvider); ok {
+		r.Helps = sp.OpStats().Policy.Helps
+	}
+	if m, ok := lv.MinProgress(); ok {
+		r.MinWindowOps = m
+	}
+	r.LivenessOK = lv.Check() == nil
+
+	// Unpark the dead last, after every metric is read: the released
+	// goroutines re-execute an already-completed descriptor (helping is
+	// idempotent), observe stop, and exit.
+	plan.ReleaseKilled()
+	return r
+}
+
+// runChaos runs every family once and returns the rows.
+func runChaos(o options) []chaosRow {
+	threads := chaosThreads(o)
+	fi := 0
+	seed := func() uint64 { fi++; return trialSeed(o.seed, fi-1) }
+	var rows []chaosRow
+
+	// abort-storm: one row per forced cause on the BST, plus the
+	// (a,b)-tree under the default spurious storm.
+	storm := []struct {
+		structure string
+		variant   string
+		cause     htm.AbortCause
+	}{
+		{"bst", "spurious", htm.CauseSpurious},
+		{"bst", "conflict", htm.CauseConflict},
+		{"bst", "capacity", htm.CauseCapacity},
+		{"abtree", "spurious", htm.CauseSpurious},
+	}
+	for _, sc := range storm {
+		s := seed()
+		rows = append(rows, runChaosTrial(o, chaosTrialOpts{
+			name:   sc.structure + "/chaos/abort-storm/" + sc.variant,
+			family: "abort-storm",
+			spec: workload.Spec{
+				Structure: sc.structure,
+				Algorithm: engine.AlgThreePath,
+				HTM:       o.htmCfg(htm.Config{}),
+				Policy:    o.policy,
+			},
+			cfg: workload.Config{
+				Threads: threads, Duration: o.duration,
+				KeyRange: chaosKeys, Kind: workload.Light, Seed: s,
+			},
+			plan: fault.New(s, fault.Rule{
+				Point: fault.PointTxAccess, Prob: 0.02, Cause: uint8(sc.cause),
+			}),
+		}))
+	}
+
+	// owner-stall: helpable fallback, announced owner sleeps 2ms on
+	// every 16th fallback entry; watchdog windows must see progress.
+	s := seed()
+	rows = append(rows, runChaosTrial(o, chaosTrialOpts{
+		name:   "bst/chaos/owner-stall",
+		family: "owner-stall",
+		spec: workload.Spec{
+			Structure:    "bst",
+			Algorithm:    engine.AlgTLE,
+			Helpable:     true,
+			AttemptLimit: 2,
+			HTM:          htm.Config{SpuriousEvery: 20},
+			Policy:       o.policy,
+		},
+		cfg: workload.Config{
+			Threads: threads, Duration: o.duration,
+			KeyRange: chaosKeys, Kind: workload.Light, Seed: s,
+			MeasureLatency: true,
+		},
+		// Count-bounded so every stall fires while the trial is still
+		// loaded: a stall straddling the end of the window has no peers
+		// left to make progress and would report an empty window.
+		plan: fault.New(s, fault.Rule{
+			Point: fault.PointFallbackOwner, Every: 16, Count: 24,
+			Stall: 2 * time.Millisecond, Watch: true,
+		}),
+		watch: true,
+	}))
+
+	// owner-death (dedicated runner; see above).
+	rows = append(rows, runChaosOwnerDeath(o, seed()))
+
+	// migrate: skewed updates on an adaptive sharded tree force
+	// boundary migrations; every quiesce acquisition and both
+	// inter-step migration windows stall.
+	s = seed()
+	rows = append(rows, runChaosTrial(o, chaosTrialOpts{
+		name:   "bst/chaos/migrate",
+		family: "migrate",
+		spec: workload.Spec{
+			Structure: "bst",
+			Algorithm: engine.AlgThreePath,
+			Shards:    4,
+			KeySpan:   chaosKeys,
+			Router:    "adaptive",
+			HTM:       o.htmCfg(htm.Config{}),
+			Policy:    o.policy,
+		},
+		cfg: workload.Config{
+			Threads: threads, Duration: o.duration,
+			KeyRange: chaosKeys, Kind: workload.Light, Seed: s,
+			Dist: workload.DistZipf, ZipfTheta: 0.9,
+			MeasureLatency: true,
+		},
+		plan: fault.New(s,
+			fault.Rule{Point: fault.PointQuiesce, Every: 1, Stall: 200 * time.Microsecond},
+			fault.Rule{Point: fault.PointMigrateSwap, Every: 1, Stall: 200 * time.Microsecond},
+			fault.Rule{Point: fault.PointMigrateDelete, Every: 1, Stall: 200 * time.Microsecond},
+		),
+	}))
+
+	// ebr-pin: epoch pins stall after announcing, delaying grace
+	// periods behind live readers.
+	s = seed()
+	rows = append(rows, runChaosTrial(o, chaosTrialOpts{
+		name:   "bst/chaos/ebr-pin",
+		family: "ebr-pin",
+		spec: workload.Spec{
+			Structure: "bst",
+			Algorithm: engine.AlgThreePath,
+			HTM:       o.htmCfg(htm.Config{}),
+			Policy:    o.policy,
+		},
+		cfg: workload.Config{
+			Threads: threads, Duration: o.duration,
+			KeyRange: chaosKeys, Kind: workload.Light, Seed: s,
+		},
+		plan: fault.New(s, fault.Rule{
+			Point: fault.PointEBRPin, Every: 256, Stall: 200 * time.Microsecond,
+		}),
+	}))
+
+	// agg-stall: fallback operations stall inside the aggregate
+	// seqlock's write section while the analytics thread queries.
+	s = seed()
+	rows = append(rows, runChaosTrial(o, chaosTrialOpts{
+		name:   "abtree/chaos/agg-stall",
+		family: "agg-stall",
+		spec: workload.Spec{
+			Structure:    "abtree",
+			Algorithm:    engine.AlgThreePath,
+			AttemptLimit: 2,
+			HTM:          htm.Config{SpuriousEvery: 20},
+			Policy:       o.policy,
+		},
+		cfg: workload.Config{
+			Threads: threads, Duration: o.duration,
+			KeyRange: chaosKeys, Kind: workload.Analytics, Seed: s,
+		},
+		plan: fault.New(s, fault.Rule{
+			Point: fault.PointAggFixup, Every: 8, Stall: 200 * time.Microsecond,
+		}),
+	}))
+
+	// batch-delay: the async pipeline's flushes stall.
+	s = seed()
+	rows = append(rows, runChaosTrial(o, chaosTrialOpts{
+		name:   "bst/chaos/batch-delay",
+		family: "batch-delay",
+		spec: workload.Spec{
+			Structure: "bst",
+			Algorithm: engine.AlgThreePath,
+			HTM:       o.htmCfg(htm.Config{}),
+			Policy:    o.policy,
+		},
+		cfg: workload.Config{
+			Threads: threads, Duration: o.duration,
+			KeyRange: chaosKeys, Kind: workload.Light, Seed: s,
+			BatchOps: 16,
+		},
+		plan: fault.New(s, fault.Rule{
+			Point: fault.PointBatchFlush, Every: 8, Stall: 200 * time.Microsecond,
+		}),
+	}))
+
+	return rows
+}
+
+// chaos prints the uniform CSV rows with the survival metrics in
+// extras.
+func chaos(o options) {
+	fmt.Printf("# Chaos: fault-injection survival on %d threads (seed %d)\n",
+		chaosThreads(o), o.seed)
+	fmt.Println("# extras: family, seed, keysum_ok (- when unchecked), fires, kills, helps, dead, stall_windows, min_window_ops, liveness_ok, max_wait_ns, migrations")
+	for _, r := range runChaos(o) {
+		keysum := "-"
+		if r.KeySumChecked {
+			keysum = fmt.Sprintf("%v", r.KeySumOK)
+		}
+		var fires uint64
+		for _, n := range r.Fires {
+			fires += n
+		}
+		extras := []string{
+			kv("family", "%s", r.Family),
+			kv("seed", "%d", r.Seed),
+			kv("keysum_ok", "%s", keysum),
+			kv("fires", "%d", fires),
+			kv("kills", "%d", r.Kills),
+			kv("helps", "%d", r.Helps),
+			kv("dead", "%d", r.Dead),
+			kv("stall_windows", "%d", r.StallWindows),
+			kv("min_window_ops", "%d", r.MinWindowOps),
+			kv("liveness_ok", "%v", r.LivenessOK),
+		}
+		if r.MaxWaitNs > 0 {
+			extras = append(extras, kv("max_wait_ns", "%d", r.MaxWaitNs))
+		}
+		if r.Migrations > 0 {
+			extras = append(extras, kv("migrations", "%d", r.Migrations))
+		}
+		row{
+			experiment: "chaos", structure: r.Structure, workload: "light",
+			algorithm: "-", threads: r.Threads,
+			throughput: r.Throughput, extras: extras,
+		}.emit()
+	}
+}
+
+// chaosJSON emits the full survival artifact for
+// `-format json -experiment chaos` — the CI chaos guard's input.
+func chaosJSON(o options) error {
+	rows := runChaos(o)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -21,6 +21,14 @@ import (
 // p50/p99/p999 and the policy "helps" counter.
 const schemaVersion = obs.SchemaVersion
 
+// trialSeed derives trial i's workload seed from the run's base seed.
+// Every experiment uses this one derivation (prime stride keeps trials
+// decorrelated while staying reproducible from -seed alone); changing
+// it invalidates committed BENCH_*.json baselines, so it changes never.
+func trialSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*7919
+}
+
 // csvHeader prints the single uniform header every experiment's rows
 // share. Before v2 each experiment printed its own ad-hoc column set,
 // so concatenated output could not be parsed as one table and columns

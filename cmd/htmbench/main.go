@@ -168,7 +168,7 @@ func run() error {
 	var o options
 	var threadsFlag string
 	flag.StringVar(&o.experiment, "experiment", "all",
-		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|rangeagg|skew|batchamortize|abortpolicy|oversub|obsoverhead, or all")
+		"comma-separated list of fig14|fig16|fig17|pathusage|sec8|sec10|headline|shardscale|rqconsistency|rangeagg|skew|batchamortize|abortpolicy|oversub|obsoverhead|chaos, or all")
 	flag.StringVar(&threadsFlag, "threads", "1,2,4,8", "comma-separated thread counts")
 	flag.DurationVar(&o.duration, "duration", 300*time.Millisecond, "measurement window per trial")
 	flag.IntVar(&o.trials, "trials", 3, "trials per configuration (median reported)")
@@ -243,7 +243,8 @@ func run() error {
 		if e == "all" {
 			exps = append(exps, "fig14", "fig16", "fig17", "pathusage", "sec8",
 				"sec10", "headline", "shardscale", "rqconsistency", "rangeagg",
-				"skew", "batchamortize", "abortpolicy", "oversub", "obsoverhead")
+				"skew", "batchamortize", "abortpolicy", "oversub", "obsoverhead",
+				"chaos")
 			continue
 		}
 		exps = append(exps, e)
@@ -254,7 +255,7 @@ func run() error {
 		switch e {
 		case "fig14", "fig16", "fig17", "pathusage", "sec8", "sec10",
 			"headline", "shardscale", "rqconsistency", "rangeagg", "skew",
-			"batchamortize", "abortpolicy", "oversub", "obsoverhead":
+			"batchamortize", "abortpolicy", "oversub", "obsoverhead", "chaos":
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -266,6 +267,9 @@ func run() error {
 		}
 		if len(exps) == 1 && exps[0] == "obsoverhead" {
 			return obsOverheadJSON(o)
+		}
+		if len(exps) == 1 && exps[0] == "chaos" {
+			return chaosJSON(o)
 		}
 		return jsonExperiments(o)
 	}
@@ -303,6 +307,8 @@ func run() error {
 			oversub(o)
 		case "obsoverhead":
 			obsOverhead(o)
+		case "chaos":
+			chaos(o)
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -380,7 +386,7 @@ func trial(o options, mk func() dict.Dict, cfg workload.Config) (float64, worklo
 	tputs := make([]float64, 0, o.trials)
 	var last workload.Result
 	for i := 0; i < o.trials; i++ {
-		cfg.Seed = o.seed + uint64(i)*7919
+		cfg.Seed = trialSeed(o.seed, i)
 		d := mk()
 		last = workload.Run(d, cfg)
 		if !last.KeySumOK {
@@ -946,7 +952,7 @@ func rqConsistency(o options) {
 			// throughput reported.
 			results := make([]rqTrialResult, 0, o.trials)
 			for i := 0; i < o.trials; i++ {
-				results = append(results, runTrial(o.seed+uint64(i)*7919))
+				results = append(results, runTrial(trialSeed(o.seed, i)))
 			}
 			sort.Slice(results, func(i, j int) bool { return results[i].rqs < results[j].rqs })
 			med := results[len(results)/2]

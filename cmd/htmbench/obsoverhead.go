@@ -84,7 +84,7 @@ func obsOverheadMeasurements(o options, n, shards int) []obsOverheadRow {
 				results             [2]workload.Result
 			)
 			for i := 0; i < o.trials; i++ {
-				cfg.Seed = o.seed + uint64(i)*7919
+				cfg.Seed = trialSeed(o.seed, i)
 				// Alternate which twin runs first and collect the GC debt
 				// of the previous tree before each run, so neither
 				// position in the pair systematically inherits the

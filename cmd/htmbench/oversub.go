@@ -134,7 +134,7 @@ func runOversub(o options) []oversubRow {
 					Duration:       o.duration,
 					KeyRange:       oversubKeys,
 					Kind:           workload.Light,
-					Seed:           o.seed + uint64(i)*7919,
+					Seed:           trialSeed(o.seed, i),
 					MeasureLatency: true,
 					YieldEvery:     1,
 				})

@@ -221,7 +221,7 @@ func rangeAggRetryMedians(o options, shards, u int) map[string]aggRetryResult {
 	for _, mode := range []string{"walk", "agg"} {
 		results := make([]aggRetryResult, 0, o.trials)
 		for i := 0; i < o.trials; i++ {
-			results = append(results, rangeAggRetryTrial(o, shards, u, mode, o.seed+uint64(i)*7919))
+			results = append(results, rangeAggRetryTrial(o, shards, u, mode, trialSeed(o.seed, i)))
 		}
 		sort.Slice(results, func(i, j int) bool { return results[i].queries < results[j].queries })
 		med[mode] = results[len(results)/2]

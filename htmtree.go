@@ -43,6 +43,7 @@ import (
 	"htmtree/internal/bst"
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 	"htmtree/internal/obs"
 	"htmtree/internal/shard"
@@ -196,7 +197,25 @@ type Config struct {
 	// fallback operation immediately after it acquires (or, with
 	// HelpableFallback, announces under) the fallback lock — a
 	// scheduling-perturbation hook for oversubscription stress tests.
+	//
+	// Deprecated: use Faults with a FaultFallbackOwner rule, which
+	// generalizes this hook to deterministic triggers, stalls, and
+	// permanent owner death. The field keeps working: it is compiled
+	// into the tree's fault plan as a Func rule firing on every
+	// fallback entry.
 	PreemptFallbackPoint func()
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// plane (NewFaultPlan) across every layer of the tree: forced
+	// transactional aborts, fallback-owner stalls and permanent owner
+	// death, quiesce and migration interruptions, reclamation pin
+	// stalls, aggregate-seqlock writer stalls, and batch flush delays.
+	// One plan may be shared by several trees; its per-point counters
+	// are then global. On an observed tree (Observability set) every
+	// fired fault is additionally recorded in the flight recorder as a
+	// fault_abort / fault_stall / fault_kill event, so a chaos failure
+	// reproduces from the (seed, plan) pair alone. Nil (the default)
+	// compiles every injection check to a single predictable branch.
+	Faults *FaultPlan
 	// SearchOutsideTx enables the Section 8 optimization: operations
 	// locate their target with unsubscribed reads and revalidate inside
 	// the transaction.
@@ -297,6 +316,86 @@ type ObsConfig struct {
 	EventBuffer int
 }
 
+// Fault-injection plane (internal/fault), re-exported for external
+// chaos harnesses: a FaultPlan compiles a seed and per-point FaultRule
+// triggers into deterministic injected effects at the named seams.
+// See Config.Faults and ARCHITECTURE.md ("Fault injection & liveness
+// checking") for the point catalogue and reproduction workflow.
+type (
+	// FaultPlan is a compiled, live fault plan (fault.Plan).
+	FaultPlan = fault.Plan
+	// FaultRule arms one injection point (fault.Rule).
+	FaultRule = fault.Rule
+	// FaultPoint names an injection point (fault.Point).
+	FaultPoint = fault.Point
+	// FaultLiveness is the progress watchdog (fault.Liveness):
+	// attach with plan.Watch, feed it completed operations with
+	// OpDone, and Check that throughput stayed nonzero during every
+	// watched stall window.
+	FaultLiveness = fault.Liveness
+)
+
+// The injection-point catalogue (see the fault package for the exact
+// seam each point is compiled into).
+const (
+	FaultTxAccess      = fault.PointTxAccess
+	FaultFallbackOwner = fault.PointFallbackOwner
+	FaultQuiesce       = fault.PointQuiesce
+	FaultMigrateSwap   = fault.PointMigrateSwap
+	FaultMigrateDelete = fault.PointMigrateDelete
+	FaultEBRPin        = fault.PointEBRPin
+	FaultAggFixup      = fault.PointAggFixup
+	FaultBatchFlush    = fault.PointBatchFlush
+)
+
+// NewFaultPlan compiles a fault plan from a seed and rules
+// (fault.New). Every trigger decision is a pure function of the seed,
+// the point, and the per-point encounter index, so a run reproduces
+// from the (seed, plan) pair.
+func NewFaultPlan(seed uint64, rules ...FaultRule) *FaultPlan {
+	return fault.New(seed, rules...)
+}
+
+// withFaults resolves the effective fault plan: Config.Faults extended
+// with the deprecated PreemptFallbackPoint hook compiled to a
+// FaultFallbackOwner Func rule firing on every fallback entry. Public
+// constructors call it once, before any per-shard construction, so a
+// sharded tree's shards share one compiled plan (and one set of
+// encounter counters).
+func (c Config) withFaults() Config {
+	if c.PreemptFallbackPoint != nil {
+		c.Faults = c.Faults.With(FaultRule{
+			Point: FaultFallbackOwner,
+			Func:  c.PreemptFallbackPoint,
+		})
+		c.PreemptFallbackPoint = nil
+	}
+	return c
+}
+
+// wireFaultRecorder bridges fired faults into the flight recorder:
+// every fire becomes a cold event (fault_abort for forced
+// transactional aborts, fault_kill for owner death, fault_stall
+// otherwise) with A = the fault point and B = the per-point fire
+// sequence number, so a recorded chaos run names exactly which
+// injections it suffered.
+func wireFaultRecorder(p *FaultPlan, o *obs.Obs) {
+	if p == nil || o == nil {
+		return
+	}
+	rec := o.Node().NewThread()
+	p.SetOnFire(func(e fault.Effect) {
+		kind := obs.EvFaultStall
+		switch {
+		case e.Point == fault.PointTxAccess:
+			kind = obs.EvFaultAbort
+		case e.Kill:
+			kind = obs.EvFaultKill
+		}
+		rec.RareEvent(kind, 0, htm.CauseNone, uint64(e.Point), e.Seq)
+	})
+}
+
 // domain builds the tree's observability domain, nil when disabled.
 func (c Config) obsDomain() *obs.Obs {
 	if c.Observability == nil {
@@ -333,6 +432,7 @@ func (c Config) htmConfig() (htm.Config, error) {
 		ReadCapacity:  c.ReadCapacity,
 		WriteCapacity: c.WriteCapacity,
 		SpuriousEvery: c.SpuriousAbortEvery,
+		Faults:        c.Faults,
 	}
 	switch c.TMBackend {
 	case "", TMBackendSim:
@@ -359,7 +459,9 @@ func (c Config) engineConfig() (engine.Config, error) {
 		FastLimit:        c.FastLimit,
 		MiddleLimit:      c.MiddleLimit,
 		HelpableFallback: c.HelpableFallback,
-		PreemptPoint:     c.PreemptFallbackPoint,
+		// PreemptFallbackPoint is not mapped here: withFaults compiled
+		// it into c.Faults before construction.
+		Faults: c.Faults,
 	}
 	if c.UseSNZI {
 		cfg.Indicator = engine.NewSNZIIndicator()
@@ -425,6 +527,7 @@ func (t *Tree) setBatchConfig(cfg Config) error {
 		MaxDelay:     cfg.BatchMaxDelay,
 		RangeNoFlush: cfg.BatchRQNoFlush,
 		Counters:     t.batchCtrs,
+		Faults:       cfg.Faults,
 	}
 	return nil
 }
@@ -464,7 +567,9 @@ func withObs(t *Tree, err error, o *obs.Obs) (*Tree, error) {
 // NewBST creates an unbalanced external binary search tree (paper
 // Section 6.1).
 func NewBST(cfg Config) (*Tree, error) {
+	cfg = cfg.withFaults()
 	o := cfg.obsDomain()
+	wireFaultRecorder(cfg.Faults, o)
 	t, err := newBST(cfg, nil, obsNode(o))
 	t, err = withBatch(t, err, cfg)
 	return withObs(t, err, o)
@@ -502,7 +607,9 @@ func newBST(cfg Config, mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error
 
 // NewABTree creates a relaxed (a,b)-tree (paper Section 6.2).
 func NewABTree(cfg Config) (*Tree, error) {
+	cfg = cfg.withFaults()
 	o := cfg.obsDomain()
+	wireFaultRecorder(cfg.Faults, o)
 	t, err := newABTree(cfg, nil, obsNode(o))
 	t, err = withBatch(t, err, cfg)
 	return withObs(t, err, o)
@@ -554,6 +661,7 @@ func newSharded(cfg Config, o *obs.Obs, mk func(mon *engine.UpdateMonitor, node 
 		Atomic:    cfg.AtomicRangeQueries,
 		RQRetries: cfg.RQRetries,
 		Obs:       obsNode(o),
+		Faults:    cfg.Faults,
 		New: func(i int, mon *engine.UpdateMonitor) dict.Dict {
 			var node *obs.Node
 			if o != nil {
@@ -639,7 +747,9 @@ func (emptyDict) KeySum() (sum, count uint64) { return 0, 0 }
 // atomic across shards when cfg.AtomicRangeQueries is set; KeySum,
 // Stats, and CheckInvariants aggregate.
 func NewShardedBST(cfg Config) (*Tree, error) {
+	cfg = cfg.withFaults()
 	o := cfg.obsDomain()
+	wireFaultRecorder(cfg.Faults, o)
 	t, err := newSharded(cfg, o, func(mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error) {
 		return newBST(cfg, mon, node)
 	})
@@ -650,7 +760,9 @@ func NewShardedBST(cfg Config) (*Tree, error) {
 // NewShardedABTree creates a sharded relaxed (a,b)-tree; see
 // NewShardedBST for the partitioning contract.
 func NewShardedABTree(cfg Config) (*Tree, error) {
+	cfg = cfg.withFaults()
 	o := cfg.obsDomain()
+	wireFaultRecorder(cfg.Faults, o)
 	t, err := newSharded(cfg, o, func(mon *engine.UpdateMonitor, node *obs.Node) (*Tree, error) {
 		return newABTree(cfg, mon, node)
 	})
@@ -735,6 +847,20 @@ func (h *Handle) RangeQuery(lo, hi uint64, out []KV) []KV {
 		out = append(out, KV{Key: p.Key, Val: p.Val})
 	}
 	return out
+}
+
+// Help drives one announced helpable-fallback operation (if any) to
+// completion on this handle's thread and reports whether it helped; on
+// a sharded tree it fans over every shard. Normal operation never
+// needs it — blocked threads help automatically — but a chaos harness
+// whose fault plan killed an owner after its announcement loops Help
+// to drain the orphaned descriptor before final verification. Returns
+// false on trees without the helpable fallback.
+func (h *Handle) Help() bool {
+	if hh, ok := h.h.(dict.Helper); ok {
+		return hh.Help()
+	}
+	return false
 }
 
 // RangeAgg returns the aggregate tuple (key sum, count, min, max) of

@@ -306,6 +306,14 @@ func (t *Tree) newHandle() *Handle {
 // key migration, which operates on the tree while holding the gate.
 func (h *Handle) SetGateBypass(bypass bool) { h.e.SetGateBypass(bypass) }
 
+// Help drives the currently announced fallback operation (if any) to
+// completion on this handle's thread and reports whether it helped
+// (dict.Helper). The help body covers itself with the tree's
+// reclamation domain, so Help is safe outside any operation — chaos
+// harnesses loop it to drain the descriptor of a worker that died
+// after announcing.
+func (h *Handle) Help() bool { return h.e.H.Help() }
+
 // KeySum returns the sum and count of keys. The walk joins the tree's
 // reclamation domain (Begin/End on a dedicated reader context), so
 // concurrent updaters cannot recycle nodes under it — in particular,

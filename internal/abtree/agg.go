@@ -5,6 +5,7 @@ import (
 
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
 )
@@ -321,6 +322,12 @@ func aggApplyDelete(tx *htm.Tx, path []*Node, child *Node, key, cmin, cmax uint6
 // serialize on the bracket), so the descent finds exactly the
 // ancestors of the just-installed leaf.
 func (t *Tree) aggFixupNonTx(h *Handle, kind aggKind, key uint64) {
+	// Seqlock-writer fault seam: aggVer is odd and the fixup has not
+	// run — an injected stall here holds every transactional reader
+	// and writer of the tree in abort-retry for the duration (they
+	// subscribe to aggVer), the worst case the PR 8 bracket design
+	// must stay safe under.
+	t.cfg.Engine.Faults.Hit(fault.PointAggFixup)
 	path := h.path[:0]
 	n := t.entry.children[0].Get(nil)
 	for !n.leaf {

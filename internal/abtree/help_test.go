@@ -1,10 +1,12 @@
 package abtree
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
 	"htmtree/internal/engine"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 )
 
@@ -111,4 +113,97 @@ func TestHelpableConcurrentKeySumMixed(t *testing.T) {
 		HTM:       htm.Config{SpuriousEvery: 40},
 		Engine:    engine.Config{HelpableFallback: true, AttemptLimit: 2},
 	}, 4, 2000, 64)
+}
+
+// TestHelpableOwnerDeath kills the announcing owner permanently at the
+// fault plane's owner seam: the goroutine parks forever right after
+// publishing its delete descriptor. A helper completes the operation
+// exactly once — but a helper never runs the owner's deferred fix
+// loop, so the committed delete's degree violation is allowed to
+// persist while the owner is dead (the documented relaxed-tree
+// consequence of a crash). Releasing the owner at teardown must then
+// deliver the helper's result AND run the deferred fix, restoring
+// strict invariants.
+func TestHelpableOwnerDeath(t *testing.T) {
+	t.Parallel()
+	const n = 40
+	// The prefill's fallback-entry count is not n: inserts that split
+	// leaves run the owner fix loop, which re-enters the fallback.
+	// Replay the identical (deterministic, single-threaded) prefill
+	// against a probe plan that counts the seam without ever firing,
+	// and kill exactly the first post-prefill entry — the delete.
+	probe := fault.New(1, fault.Rule{Point: fault.PointFallbackOwner, Every: 1 << 60})
+	pcfg := helpableConfig(nil)
+	pcfg.Engine.Faults = probe
+	ptr := New(pcfg)
+	ph := ptr.newHandle()
+	for k := uint64(1); k <= n; k++ {
+		ph.Insert(k, k*10)
+	}
+	prefillEntries := probe.Hits(fault.PointFallbackOwner)
+
+	plan := fault.New(1, fault.Rule{
+		Point: fault.PointFallbackOwner,
+		Every: 1, After: prefillEntries, Count: 1,
+		Kill: true,
+	})
+	cfg := helpableConfig(nil)
+	cfg.Engine.Faults = plan
+	tr := New(cfg)
+	h1 := tr.newHandle()
+	h2 := tr.newHandle()
+	for k := uint64(1); k <= n; k++ {
+		h1.Insert(k, k*10)
+	}
+
+	done := make(chan struct{})
+	var old uint64
+	var existed bool
+	go func() {
+		defer close(done)
+		old, existed = h1.Delete(7)
+	}()
+	for plan.Fires(fault.PointFallbackOwner) == 0 {
+		runtime.Gosched()
+	}
+	if !h2.e.H.Help() {
+		t.Fatal("helper found nothing to help")
+	}
+	if _, ok := h2.Search(7); ok {
+		t.Fatal("key 7 still present after helped delete")
+	}
+	// Finished descriptor retracted despite the dead owner.
+	if h2.e.H.Help() {
+		t.Fatal("helped a finished operation")
+	}
+	select {
+	case <-done:
+		t.Fatal("killed owner returned before release")
+	default:
+	}
+	// Structural invariants (keys ordered, reachable, no leaks) must
+	// hold with the owner dead; strict degree bounds need not — only
+	// the dead owner could have repaired the underfull leaf.
+	if err := tr.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	// Teardown: unpark the owner. It observes the terminal attempt,
+	// returns the helper's result, and runs the deferred fix loop.
+	plan.ReleaseKilled()
+	<-done
+	if !existed || old != 70 {
+		t.Fatalf("released owner Delete returned (%d,%v), want (70,true)", old, existed)
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatalf("strict invariants after owner release (fix loop must have run): %v", err)
+	}
+	for k := uint64(1); k <= n; k++ {
+		want, wantOK := k*10, true
+		if k == 7 {
+			want, wantOK = 0, false
+		}
+		if v, ok := h2.Search(k); ok != wantOK || v != want {
+			t.Fatalf("Search(%d) = (%d,%v), want (%d,%v)", k, v, ok, want, wantOK)
+		}
+	}
 }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"htmtree/internal/dict"
+	"htmtree/internal/fault"
 )
 
 // DefaultMaxOps is the flush threshold when Config.MaxOps is zero.
@@ -66,6 +67,10 @@ type Config struct {
 	// into a shared sink (the tree-level Stats.Batch); nil keeps the
 	// counts pipeline-private.
 	Counters *Counters
+	// Faults, when non-nil, arms fault.PointBatchFlush: an injected
+	// stall at the head of each flush delays every Promise of the
+	// group — the chaos harness's model of a stuck ingress queue.
+	Faults *fault.Plan
 }
 
 // Counters aggregates pipeline activity, safe for concurrent pipelines
@@ -270,6 +275,10 @@ func (p *Pipeline) flushLocked(cause *atomic.Uint64) []pending {
 	if len(p.pend) == 0 {
 		return nil
 	}
+	// Flush-delay fault seam: the group is about to execute; an
+	// injected stall holds the pipeline lock and every buffered
+	// Promise for the duration.
+	p.cfg.Faults.Hit(fault.PointBatchFlush)
 	ready := p.pend
 	p.pend = make([]pending, 0, p.cfg.MaxOps)
 	// Stable by key: ops on the same key keep enqueue order, which is

@@ -207,6 +207,14 @@ func (t *Tree) newHandle() *Handle {
 // key migration, which operates on the tree while holding the gate.
 func (h *Handle) SetGateBypass(bypass bool) { h.e.SetGateBypass(bypass) }
 
+// Help drives the currently announced fallback operation (if any) to
+// completion on this handle's thread and reports whether it helped
+// (dict.Helper). The help body covers itself with the tree's
+// reclamation domain, so Help is safe outside any operation — chaos
+// harnesses loop it to drain the descriptor of a worker that died
+// after announcing.
+func (h *Handle) Help() bool { return h.e.H.Help() }
+
 // childRef returns the child field of p that a search for key follows.
 // p is always internal, and internal nodes are reused only after a
 // grace period, so the routing key is immutable for as long as anyone

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"htmtree/internal/engine"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 )
 
@@ -262,4 +263,76 @@ func TestHelpableConcurrentKeySumMixed(t *testing.T) {
 func retired(h *Handle) uint64 {
 	s := h.ReclaimStats()
 	return s.RetiredFast + s.RetiredGrace
+}
+
+// TestHelpableOwnerDeath is the permanent-failure variant of the parked
+// owner tests above: the fault plane kills the announcing owner right
+// after it publishes its delete descriptor — the goroutine parks
+// forever, it never executes, finishes, or retires anything. A helper
+// must complete the operation exactly once (result visible, exactly
+// three retirements, slot retracted) while the owner is provably still
+// dead; only the test's teardown releases it, at which point the owner
+// observes the terminal attempt and returns the helper's result.
+func TestHelpableOwnerDeath(t *testing.T) {
+	t.Parallel()
+	plan := fault.New(1, fault.Rule{
+		Point: fault.PointFallbackOwner,
+		// The two prefill inserts are fallback entries 1 and 2; kill
+		// the third entry — the delete — and nothing after it.
+		Every: 1, After: 2, Count: 1,
+		Kill: true,
+	})
+	cfg := helpableConfig(nil)
+	cfg.Engine.Faults = plan
+	tr := New(cfg)
+	h1 := tr.newHandle()
+	h2 := tr.newHandle()
+	h1.Insert(5, 50)
+	h1.Insert(10, 100)
+
+	base := retired(h1) + retired(h2)
+	done := make(chan struct{})
+	var old uint64
+	var existed bool
+	go func() {
+		defer close(done)
+		old, existed = h1.Delete(5)
+	}()
+	// The fire counter increments just before the owner parks; one
+	// yield later the descriptor is the only announced work.
+	for plan.Fires(fault.PointFallbackOwner) == 0 {
+		runtime.Gosched()
+	}
+	if !h2.e.H.Help() {
+		t.Fatal("helper found nothing to help")
+	}
+	if _, ok := h2.Search(5); ok {
+		t.Fatal("key 5 still present after helped delete")
+	}
+	if d := retired(h1) + retired(h2) - base; d != 3 {
+		t.Fatalf("helped delete retired %d nodes, want exactly 3 (owner is dead; the helper owns retirement)", d)
+	}
+	// The finished descriptor was retracted even though its owner never
+	// woke: release is derived from the terminal attempt, not owned.
+	if h2.e.H.Help() {
+		t.Fatal("helped a finished operation")
+	}
+	select {
+	case <-done:
+		t.Fatal("killed owner returned before release")
+	default:
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Teardown: unpark the owner. It finds the terminal attempt and
+	// must deliver the helper's result — not re-execute.
+	plan.ReleaseKilled()
+	<-done
+	if !existed || old != 50 {
+		t.Fatalf("released owner Delete returned (%d,%v), want (50,true)", old, existed)
+	}
+	if d := retired(h1) + retired(h2) - base; d != 3 {
+		t.Fatalf("retirements after owner release = %d, want still 3 (no re-execution)", d)
+	}
 }

@@ -14,6 +14,8 @@ package ebr
 import (
 	"sync"
 	"sync/atomic"
+
+	"htmtree/internal/fault"
 )
 
 // advanceEvery is how many retirements a thread performs between
@@ -23,6 +25,10 @@ const advanceEvery = 32
 // Manager coordinates epochs across threads.
 type Manager struct {
 	epoch atomic.Uint64
+	// faults arms fault.PointEBRPin (SetFaults): a stall injected right
+	// after a thread pins its epoch, which lags the global epoch and
+	// starves every other thread's grace periods for the duration.
+	faults *fault.Plan
 
 	mu      sync.Mutex
 	threads []*Thread
@@ -45,12 +51,17 @@ type Thread struct {
 	lastE   uint64 // epoch last seen by Begin (drain gating)
 	retires int
 	free    func(any)
+	faults  *fault.Plan // cached Manager.faults; Begin is per-op hot
 }
+
+// SetFaults arms the manager's fault-injection seam. Call before any
+// NewThread; threads created earlier do not observe the plan.
+func (m *Manager) SetFaults(p *fault.Plan) { m.faults = p }
 
 // NewThread registers a thread whose expired retirees are passed to
 // free.
 func (m *Manager) NewThread(free func(any)) *Thread {
-	t := &Thread{m: m, free: free}
+	t := &Thread{m: m, free: free, faults: m.faults}
 	m.mu.Lock()
 	m.threads = append(m.threads, t)
 	m.mu.Unlock()
@@ -65,6 +76,12 @@ func (m *Manager) NewThread(free func(any)) *Thread {
 func (t *Thread) Begin() {
 	e := t.m.epoch.Load()
 	t.ann.Store(e<<1 | 1)
+	if t.faults != nil {
+		// Pin-stall seam: the thread is announced in epoch e; a stall
+		// here holds the global epoch back (tryAdvance skips past no
+		// active lagging thread), so reclamation everywhere waits.
+		t.faults.Hit(fault.PointEBRPin)
+	}
 	if e != t.lastE {
 		t.lastE = e
 		t.drain(e)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"htmtree/internal/ebr"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
 	"htmtree/internal/obs"
@@ -188,7 +189,21 @@ type Config struct {
 	// classic lock acquisition (the baseline's convoy window), or right
 	// after the announcement in helpable mode. Tests inject
 	// runtime.Gosched here to force the convoy/help schedules.
+	//
+	// Deprecated: the same seam is fault.PointFallbackOwner on Faults,
+	// which additionally supports deterministic triggers, stalls, and
+	// permanent owner death. PreemptPoint remains as the zero-setup
+	// hook existing tests use.
 	PreemptPoint func()
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// plane at the engine's seams: fault.PointFallbackOwner fires at
+	// the PreemptPoint seam above (in helpable mode a Kill effect
+	// parks the announced owner forever and helpers must complete the
+	// operation — the lock-free progress guarantee under test), and
+	// the plan is forwarded to the engine's reclamation domain for
+	// fault.PointEBRPin. The HTM and shard layers carry their own
+	// plan references; one shared *fault.Plan arms a whole structure.
+	Faults *fault.Plan
 	// Obs, when non-nil, attaches this engine to a live observability
 	// domain (see obs.go in this package): New registers the metric
 	// families that read the per-thread counters, and every NewThread
@@ -246,6 +261,7 @@ func New(cfg Config, clk *htm.Clock) *Engine {
 		cfg.Algorithm = AlgThreePath
 	}
 	e := &Engine{cfg: cfg.withDefaults(), reclaim: ebr.New()}
+	e.reclaim.SetFaults(e.cfg.Faults)
 	if fh, ok := e.cfg.Policy.(FallbackHelper); ok {
 		e.helpingPolicy = fh.HelpWhileBlocked()
 	}
@@ -771,6 +787,12 @@ func (th *Thread) runTLE(op Op, mon *UpdateMonitor) htm.PathKind {
 	if e.cfg.PreemptPoint != nil {
 		e.cfg.PreemptPoint()
 	}
+	// Owner-fault seam: a Stall here models the classic convoy (every
+	// thread blocked behind a descheduled lock holder). Kill is not
+	// meaningful on this path — a dead classic owner wedges the engine
+	// by design, which is exactly the weakness the helpable fallback
+	// removes.
+	e.cfg.Faults.Hit(fault.PointFallbackOwner)
 	func() {
 		// Release with defer, like the monitor bracket below: a panic
 		// out of the locked body must not strand the global lock, which

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 	"htmtree/internal/llxscx"
 	"htmtree/internal/obs"
@@ -271,6 +272,12 @@ func (th *Thread) runHelpableFallback(op Op, mon *UpdateMonitor) {
 	if e.cfg.PreemptPoint != nil {
 		e.cfg.PreemptPoint()
 	}
+	// Owner-fault seam: the descriptor is announced and visible, the
+	// critical section is not yet executed — the exact window the
+	// helpable protocol's progress claim covers. A Kill effect parks
+	// this goroutine forever; any other fallback entrant (or
+	// help-while-blocked fast-path waiter) must drive d to completion.
+	e.cfg.Faults.Hit(fault.PointFallbackOwner)
 	att := th.execDesc(d)
 	atomic.AddUint64(&th.fallbackAcq, 1)
 	if so != nil {

@@ -43,6 +43,8 @@ package htm
 import (
 	"sync"
 	"sync/atomic"
+
+	"htmtree/internal/fault"
 )
 
 // Default capacity and tuning parameters. The Intel-like profile is sized
@@ -88,6 +90,12 @@ type Config struct {
 	// SpuriousEvery only apply to the simulator; BackendTLELock ignores
 	// them. For a custom Backend implementation use NewWithBackend.
 	Backend BackendKind
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// plane at this TM's transactional accesses: a fault.PointTxAccess
+	// effect forces an abort with the effect's cause (CauseSpurious
+	// when unset) — the chaos harness's abort storm. Nil costs one
+	// predictable branch per access on the simulator path.
+	Faults *fault.Plan
 }
 
 // withDefaults returns c with zero fields replaced by default values.
@@ -175,9 +183,10 @@ func (tm *TM) NewThread() *Thread {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	th := &Thread{
-		tm:  tm,
-		id:  len(tm.threads),
-		rng: tm.cfg.Seed + uint64(len(tm.threads))*0xbf58476d1ce4e5b9 + 1,
+		tm:     tm,
+		id:     len(tm.threads),
+		rng:    tm.cfg.Seed + uint64(len(tm.threads))*0xbf58476d1ce4e5b9 + 1,
+		faults: tm.cfg.Faults,
 	}
 	th.tx.th = th
 	tm.threads = append(tm.threads, th)

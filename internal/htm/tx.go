@@ -3,6 +3,8 @@ package htm
 import (
 	"fmt"
 	"sync/atomic"
+
+	"htmtree/internal/fault"
 )
 
 // PathKind identifies the execution path a transaction (or operation) ran
@@ -125,6 +127,9 @@ type Thread struct {
 	// (SetHelper); helping guards against reentrant helping.
 	helper  func(Announced) bool
 	helping bool
+	// faults caches the TM's fault plan (Config.Faults) so the
+	// per-access injection check is one field load and branch.
+	faults *fault.Plan
 }
 
 // ID returns the thread's registration index within its TM.
@@ -151,6 +156,9 @@ func (th *Thread) next() uint64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// Faults returns the thread's armed fault plan, if any (nil otherwise).
+func (th *Thread) Faults() *fault.Plan { return th.faults }
 
 // txAbort is the panic payload used to unwind an aborting transaction.
 // It never escapes Thread.Atomic.
@@ -224,11 +232,22 @@ func (tx *Tx) abort(cause AbortCause) {
 	panic(txAbort{cause: cause})
 }
 
-// maybeSpurious injects a spurious abort with the configured probability.
+// maybeSpurious injects a spurious abort with the configured probability,
+// and gives an armed fault plan its shot at forcing an abort by cause
+// (fault.PointTxAccess — the chaos harness's abort storm).
 func (tx *Tx) maybeSpurious() {
 	every := tx.th.tm.cfg.SpuriousEvery
 	if every != 0 && tx.th.next()%every == 0 {
 		tx.abort(CauseSpurious)
+	}
+	if p := tx.th.faults; p != nil {
+		if eff, ok := p.At(fault.PointTxAccess); ok {
+			cause := CauseSpurious
+			if eff.Cause != 0 {
+				cause = AbortCause(eff.Cause)
+			}
+			tx.abort(cause)
+		}
 	}
 }
 

@@ -184,6 +184,9 @@ const (
 	EvQuiesce                // monitor quiesce completed; A=shard
 	EvMigrateBegin           // key migration started; A=donor shard, B=receiver shard
 	EvMigrateEnd             // key migration finished; A=keys moved
+	EvFaultAbort             // injected fault forced a transactional abort; A=fault point, B=fire seq
+	EvFaultStall             // injected fault stalled the encountering goroutine; A=fault point, B=fire seq
+	EvFaultKill              // injected fault killed (parked forever) the encountering goroutine; A=fault point, B=fire seq
 )
 
 // String returns the event kind's wire name.
@@ -207,6 +210,12 @@ func (k EventKind) String() string {
 		return "migrate_begin"
 	case EvMigrateEnd:
 		return "migrate_end"
+	case EvFaultAbort:
+		return "fault_abort"
+	case EvFaultStall:
+		return "fault_stall"
+	case EvFaultKill:
+		return "fault_kill"
 	default:
 		return "none"
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"htmtree/internal/dict"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 	"htmtree/internal/obs"
 )
@@ -357,12 +358,22 @@ func (d *Dict) migrate(donor, receiver int, mlo, mhi uint64, newR *rangeRouter) 
 		d.obsRec.RareEvent(obs.EvMigrateBegin, 0, htm.CauseNone,
 			uint64(donor), uint64(receiver))
 	}
+	// Quiesce-fault seam: both monitors' gates are held — every update
+	// on the donor and receiver shards is parked at its gate check for
+	// the duration of an injected stall.
+	d.faults.Hit(fault.PointQuiesce)
 
 	rb.scratch = hd.RangeQuery(mlo, mhi, rb.scratch[:0])
 	for _, kv := range rb.scratch {
 		hr.Insert(kv.Key, kv.Val)
 	}
+	// Migration-fault seam: the moved slice exists on both shards and
+	// the routing table still sends readers to the donor.
+	d.faults.Hit(fault.PointMigrateSwap)
 	d.rt.Store(&routing{r: newR})
+	// Migration-fault seam: the table now routes to the receiver while
+	// the donor still holds the (stale) slice pending deletion.
+	d.faults.Hit(fault.PointMigrateDelete)
 	for _, kv := range rb.scratch {
 		hd.Delete(kv.Key)
 	}

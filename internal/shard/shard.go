@@ -67,6 +67,7 @@ import (
 
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 	"htmtree/internal/obs"
 )
@@ -130,6 +131,14 @@ type Config struct {
 	// metrics are wired separately, through each inner dictionary's
 	// engine.Config.Obs.
 	Obs *obs.Node
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// plane at the shard layer's seams: fault.PointQuiesce fires while
+	// a migration (or an escalated atomic read) holds monitor quiesce
+	// gates, and fault.PointMigrateSwap / fault.PointMigrateDelete
+	// interrupt a migration between its insert / routing-table-swap /
+	// donor-delete steps. Inner-dictionary seams are armed through the
+	// engine and HTM configs the Config.New constructor builds.
+	Faults *fault.Plan
 }
 
 // validate resolves the shard count and checks every field, naming the
@@ -225,6 +234,10 @@ type Dict struct {
 	// multi-writer safe). nil unless built with Config.Obs.
 	obsRec *obs.ThreadObs
 
+	// faults is the armed fault plan (Config.Faults); nil-safe at every
+	// seam.
+	faults *fault.Plan
+
 	rqAttempts    atomic.Uint64
 	rqRetried     atomic.Uint64
 	rqEscalations atomic.Uint64
@@ -262,6 +275,7 @@ func New(cfg Config) (*Dict, error) {
 	d := &Dict{
 		shards:    make([]dict.Dict, n),
 		rqRetries: cfg.RQRetries,
+		faults:    cfg.Faults,
 	}
 	d.rt.Store(&routing{r: r})
 	if d.rqRetries == 0 {
@@ -467,6 +481,9 @@ func (d *Dict) readConsistent(lo, hi uint64, samples []engine.MonitorSample, rea
 			d.obsRec.RareEvent(obs.EvQuiesce, 0, htm.CauseNone, uint64(s), 0)
 		}
 	}
+	// Quiesce-fault seam: the escalated reader holds every overlapping
+	// shard's gate; an injected stall parks those shards' updates.
+	d.faults.Hit(fault.PointQuiesce)
 	for !try() {
 		d.rqRetried.Add(1)
 	}
@@ -570,6 +587,20 @@ type handle struct {
 	// gidx and buckets are group-execution scratch (see ExecGroup).
 	gidx    []int
 	buckets [][]int
+}
+
+// Help fans a help attempt across every shard's handle (dict.Helper):
+// each shard is an independent engine with its own announcement slot,
+// so a dead owner may be parked on any of them. Returns true if any
+// shard's announced operation was helped.
+func (h *handle) Help() bool {
+	helped := false
+	for _, ih := range h.hs {
+		if hh, ok := ih.(dict.Helper); ok && hh.Help() {
+			helped = true
+		}
+	}
+	return helped
 }
 
 // curRouter returns the routing table for a non-admitting operation:

@@ -9,6 +9,7 @@ import (
 	"htmtree/internal/bst"
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
+	"htmtree/internal/fault"
 	"htmtree/internal/htm"
 	"htmtree/internal/obs"
 	"htmtree/internal/shard"
@@ -74,6 +75,13 @@ type Spec struct {
 	// given configuration. Retrieve the domain via NewObserved; a plain
 	// New discards it.
 	Observe *obs.Config
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// plane across every layer of the constructed dictionary (HTM
+	// accesses, fallback owners, reclamation pins, and — when sharded —
+	// quiesce gates and migrations). The chaos experiment's seam. When
+	// Observe is also set, fired faults are recorded in the flight
+	// recorder.
+	Faults *fault.Plan
 }
 
 // Name returns a compact label, e.g. "abtree/3-path/x8" or
@@ -115,6 +123,22 @@ func (s Spec) NewObserved() (dict.Dict, *obs.Obs) {
 	var o *obs.Obs
 	if s.Observe != nil {
 		o = obs.New(*s.Observe)
+		if s.Faults != nil {
+			// Bridge fired faults into the flight recorder so a chaos
+			// run's event stream names its injections (cold events;
+			// A = fault point, B = per-point fire sequence).
+			rec := o.Node().NewThread()
+			s.Faults.SetOnFire(func(e fault.Effect) {
+				kind := obs.EvFaultStall
+				switch {
+				case e.Point == fault.PointTxAccess:
+					kind = obs.EvFaultAbort
+				case e.Kill:
+					kind = obs.EvFaultKill
+				}
+				rec.RareEvent(kind, 0, htm.CauseNone, uint64(e.Point), e.Seq)
+			})
+		}
 	}
 	root := func() *obs.Node {
 		if o == nil {
@@ -133,6 +157,7 @@ func (s Spec) NewObserved() (dict.Dict, *obs.Obs) {
 			HelpableFallback: s.Helpable,
 			AttemptLimit:     s.AttemptLimit,
 			Obs:              node,
+			Faults:           s.Faults,
 		}
 		if s.PreemptFallback {
 			ecfg.PreemptPoint = runtime.Gosched
@@ -140,20 +165,24 @@ func (s Spec) NewObserved() (dict.Dict, *obs.Obs) {
 		if s.PreemptPoint != nil {
 			ecfg.PreemptPoint = s.PreemptPoint
 		}
+		hcfg := s.HTM
+		if hcfg.Faults == nil {
+			hcfg.Faults = s.Faults
+		}
 		switch s.Structure {
 		case "bst":
 			return bst.New(bst.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
 				Engine:          ecfg,
-				HTM:             s.HTM,
+				HTM:             hcfg,
 			})
 		case "abtree":
 			return abtree.New(abtree.Config{
 				Algorithm:       s.Algorithm,
 				SearchOutsideTx: s.SearchOutsideTx,
 				Engine:          ecfg,
-				HTM:             s.HTM,
+				HTM:             hcfg,
 			})
 		default:
 			panic(fmt.Sprintf("workload: unknown structure %q", s.Structure))
@@ -167,6 +196,7 @@ func (s Spec) NewObserved() (dict.Dict, *obs.Obs) {
 		KeySpan: s.KeySpan,
 		Atomic:  s.AtomicRQ,
 		Obs:     root(),
+		Faults:  s.Faults,
 		New: func(i int, mon *engine.UpdateMonitor) dict.Dict {
 			var node *obs.Node
 			if o != nil {

@@ -19,6 +19,7 @@ import (
 	"htmtree/internal/batch"
 	"htmtree/internal/dict"
 	"htmtree/internal/engine"
+	"htmtree/internal/fault"
 	"htmtree/internal/hist"
 	"htmtree/internal/htm"
 	"htmtree/internal/shard"
@@ -125,6 +126,15 @@ type Config struct {
 	// variant and masks the effect under test. Yielding between
 	// operations moves that wait between timed windows.
 	YieldEvery int
+	// Liveness, when non-nil, receives one OpDone per completed
+	// operation from every worker. Chaos trials watch it to prove
+	// system-wide progress continues while an injected fault stalls or
+	// kills an announced fallback owner.
+	Liveness *fault.Liveness
+	// Faults, when non-nil, arms fault injection in the batching
+	// pipeline each batched updater builds (PointBatchFlush). Faults in
+	// the dictionary itself are armed at construction via Spec.Faults.
+	Faults *fault.Plan
 }
 
 // ShardInfo is implemented by sharded dictionaries that expose their
@@ -205,7 +215,7 @@ type delta struct {
 // measured path is sorted group execution through dict.GroupExecutor
 // when the dictionary supports it.
 func runBatchedUpdater(h dict.Handle, cfg Config, rng *xrand.State, gen func(*xrand.State) uint64, st *delta, stop *atomic.Bool) {
-	pl := batch.New(h, batch.Config{MaxOps: cfg.BatchOps})
+	pl := batch.New(h, batch.Config{MaxOps: cfg.BatchOps, Faults: cfg.Faults})
 	type rec struct {
 		k   uint64
 		ins bool
@@ -236,6 +246,7 @@ func runBatchedUpdater(h dict.Handle, cfg Config, rng *xrand.State, gen func(*xr
 		}
 		st.updates++
 		st.ops++
+		cfg.Liveness.OpDone()
 		if len(recs) >= cfg.BatchOps {
 			settle()
 		}
@@ -284,6 +295,10 @@ func Prefill(d dict.Dict, cfg Config) (sum, count uint64) {
 					sums[w] += k
 					counts[w]++
 				}
+				// Prefill counts toward the liveness watchdog too: with
+				// faults armed, a stall can fire during prefill, and its
+				// progress window needs the peers' inserts to be visible.
+				cfg.Liveness.OpDone()
 			}
 		}(w)
 	}
@@ -407,6 +422,7 @@ func Run(d dict.Dict, cfg Config) Result {
 					st.lat.Record(uint64(time.Since(t0)))
 				}
 				st.ops++
+				cfg.Liveness.OpDone()
 				if cfg.YieldEvery > 0 && st.ops%uint64(cfg.YieldEvery) == 0 {
 					runtime.Gosched()
 				}
